@@ -1,0 +1,56 @@
+// Command aggbench regenerates the paper's evaluation: every table and
+// figure of "Improving the Performance of Multi-hop Wireless Networks using
+// Frame Aggregation and Broadcast for TCP ACKs" (Kim et al., CoNEXT 2008),
+// printed as aligned text tables.
+//
+// Usage:
+//
+//	aggbench                 # run everything (paper order)
+//	aggbench -exp fig11      # one experiment
+//	aggbench -seed 7 -quick  # shorter UDP windows, different seed
+//	aggbench -list           # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aggmac/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment to run (empty = all); see -list")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		quick = flag.Bool("quick", false, "shorter UDP measurement windows")
+		list  = flag.Bool("list", false, "list experiment names and exit")
+	)
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Println(e.Name)
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	ran := 0
+	start := time.Now()
+	for _, e := range all {
+		if *exp != "" && e.Name != *exp {
+			continue
+		}
+		t := e.Run(opts)
+		fmt.Println(t.Format())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "aggbench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("regenerated %d experiment(s) in %v (wall clock)\n", ran, time.Since(start).Round(time.Millisecond))
+}

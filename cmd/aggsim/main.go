@@ -1,0 +1,145 @@
+// Command aggsim runs a single configured experiment on the aggregation
+// MAC simulator and prints throughput plus per-node detail.
+//
+// Examples:
+//
+//	aggsim -traffic tcp -scheme ba -rate 2.6 -hops 2
+//	aggsim -traffic tcp -scheme dba -star -file 200000
+//	aggsim -traffic udp -scheme na -rate 0.65 -hops 2 -flood 1s
+//	aggsim -traffic udp -scheme ba -hops 1 -agg 8192   # past the cliff
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"aggmac/internal/core"
+	"aggmac/internal/mac"
+	"aggmac/internal/phy"
+)
+
+func schemeByName(name string) (mac.Scheme, error) {
+	switch strings.ToLower(name) {
+	case "na":
+		return mac.NA, nil
+	case "ua":
+		return mac.UA, nil
+	case "ba":
+		return mac.BA, nil
+	case "dba":
+		return mac.DBA, nil
+	}
+	return mac.Scheme{}, fmt.Errorf("unknown scheme %q (na|ua|ba|dba)", name)
+}
+
+func main() {
+	var (
+		traffic  = flag.String("traffic", "tcp", "tcp or udp")
+		scheme   = flag.String("scheme", "ba", "na | ua | ba | dba")
+		rateMbps = flag.Float64("rate", 1.3, "PHY data rate in Mbps (0.65|1.3|1.95|2.6|...)")
+		bcRate   = flag.Float64("bcast-rate", 0, "fixed broadcast-portion rate in Mbps (0 = same as unicast)")
+		hops     = flag.Int("hops", 2, "linear chain hop count")
+		star     = flag.Bool("star", false, "use the 2-session star topology (TCP only)")
+		file     = flag.Int("file", core.PaperFileBytes, "TCP transfer size in bytes")
+		agg      = flag.Int("agg", 5120, "maximum aggregation size in bytes")
+		noFwd    = flag.Bool("no-forward-agg", false, "disable forward aggregation (Fig 14)")
+		blockAck = flag.Bool("block-ack", false, "enable the block-ACK extension")
+		autoAgg  = flag.Bool("auto-agg", false, "rate-adaptive aggregation size extension")
+		flood    = flag.Duration("flood", 0, "flooding interval per node (UDP only; 0 = off)")
+		dur      = flag.Duration("dur", 40*time.Second, "UDP measurement duration")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		verbose  = flag.Bool("v", false, "print per-node detail")
+		doTrace  = flag.Bool("trace", false, "stream the channel timeline to stderr")
+	)
+	flag.Parse()
+	var traceTo io.Writer
+	if *doTrace {
+		traceTo = os.Stderr
+	}
+
+	sch, err := schemeByName(*scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aggsim:", err)
+		os.Exit(2)
+	}
+	sch.DisableForwardAggregation = *noFwd
+	rate, err := phy.RateFromMbps(*rateMbps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aggsim:", err)
+		os.Exit(2)
+	}
+
+	switch *traffic {
+	case "tcp":
+		cfg := core.TCPConfig{
+			Scheme: sch, Rate: rate, Hops: *hops, Star: *star,
+			FileBytes: *file, MaxAggBytes: *agg, Seed: *seed,
+			BlockAck: *blockAck, AutoAggSize: *autoAgg,
+			TraceTo: traceTo,
+		}
+		if *bcRate > 0 {
+			br, err := phy.RateFromMbps(*bcRate)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aggsim:", err)
+				os.Exit(2)
+			}
+			cfg.FixedBroadcastRate = &br
+		}
+		res := core.RunTCP(cfg)
+		fmt.Printf("scheme=%s rate=%v topology=%s\n", sch.Name(), rate, topoName(*hops, *star))
+		for i, m := range res.SessionMbps {
+			fmt.Printf("session %d: %.3f Mbps (done=%v)\n", i, m, res.Sessions[i].Done)
+		}
+		fmt.Printf("end-to-end throughput: %.3f Mbps (worst session), elapsed %v\n",
+			res.ThroughputMbps, res.Elapsed.Round(time.Millisecond))
+		if !res.Completed {
+			fmt.Println("WARNING: not all sessions completed before the deadline")
+		}
+		if *verbose {
+			printNodes(res.Nodes)
+			for i, s := range res.Sessions {
+				fmt.Printf("session %d sender: sent=%d rtx=%d fastRtx=%d timeouts=%d\n",
+					i, s.Sender.SegsSent, s.Sender.Retransmits, s.Sender.FastRetransmits, s.Sender.Timeouts)
+			}
+		}
+	case "udp":
+		res := core.RunUDP(core.UDPConfig{
+			Scheme: sch, Rate: rate, Hops: *hops, MaxAggBytes: *agg,
+			FloodInterval: *flood, Duration: *dur, Seed: *seed,
+			TraceTo: traceTo,
+		})
+		fmt.Printf("scheme=%s rate=%v hops=%d flood=%v\n", sch.Name(), rate, *hops, *flood)
+		fmt.Printf("goodput: %.3f Mbps (%d packets delivered)\n", res.ThroughputMbps, res.SinkPackets)
+		if *flood > 0 {
+			fmt.Printf("flooding: %d sent, %d received\n", res.FloodsSent, res.FloodsRcvd)
+		}
+		if *verbose {
+			printNodes(res.Nodes)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "aggsim: unknown traffic %q (tcp|udp)\n", *traffic)
+		os.Exit(2)
+	}
+}
+
+func topoName(hops int, star bool) string {
+	if star {
+		return "star (2 sessions via centre)"
+	}
+	return fmt.Sprintf("%d-hop chain", hops)
+}
+
+func printNodes(nodes []core.NodeReport) {
+	fmt.Printf("%-3s %-7s %7s %9s %7s %7s %8s %8s %7s\n",
+		"id", "role", "dataTx", "avgFrameB", "subAvg", "retries", "sizeOv%", "timeOv%", "qDrops")
+	for _, n := range nodes {
+		fmt.Printf("%-3d %-7s %7d %9.0f %7.2f %7d %8.2f %8.2f %7d\n",
+			n.ID, n.Role, n.MAC.DataTx, n.MAC.AvgFrameBytes(), n.MAC.AvgSubframes(),
+			n.MAC.Retries, 100*n.MAC.SizeOverhead(n.PreambleBytes),
+			100*n.MAC.TimeOverhead(), n.MAC.QueueDrops)
+	}
+}

@@ -1,0 +1,44 @@
+// flooding shows how route-discovery-style broadcast traffic erodes UDP
+// goodput on a 2-hop chain, and how broadcast aggregation folds the floods
+// into data transmissions almost for free (the paper's §6.3 / Figure 9).
+//
+//	go run ./examples/flooding
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"aggmac/internal/core"
+	"aggmac/internal/mac"
+	"aggmac/internal/phy"
+)
+
+func main() {
+	intervals := []time.Duration{0, time.Second, 200 * time.Millisecond, 100 * time.Millisecond, 50 * time.Millisecond}
+
+	fmt.Println("2-hop UDP goodput at 1.3 Mbps under flooding (every node floods):")
+	fmt.Printf("%-22s %12s %12s %8s\n", "flooding interval", "no agg", "bcast agg", "agg win")
+	for _, iv := range intervals {
+		na := core.RunUDP(core.UDPConfig{Scheme: mac.NA, Rate: phy.Rate1300k, Hops: 2,
+			FloodInterval: iv, Seed: 1, Duration: 40 * time.Second})
+		ba := core.RunUDP(core.UDPConfig{Scheme: mac.BA, Rate: phy.Rate1300k, Hops: 2,
+			FloodInterval: iv, Seed: 1, Duration: 40 * time.Second})
+		label := "none"
+		if iv > 0 {
+			label = iv.String()
+		}
+		fmt.Printf("%-22s %9.3f Mb %9.3f Mb %+7.1f%%\n", label,
+			na.ThroughputMbps, ba.ThroughputMbps,
+			100*(ba.ThroughputMbps-na.ThroughputMbps)/na.ThroughputMbps)
+	}
+
+	// How the relay handles the floods under BA: they ride along.
+	res := core.RunUDP(core.UDPConfig{Scheme: mac.BA, Rate: phy.Rate1300k, Hops: 2,
+		FloodInterval: 500 * time.Millisecond, Seed: 1, Duration: 40 * time.Second})
+	relay := core.Relay(res.Nodes)
+	fmt.Printf("\nunder BA at 0.5s flooding: relay sent %d broadcast subframes inside %d aggregates\n",
+		relay.MAC.BroadcastSubTx, relay.MAC.DataTx)
+	fmt.Printf("flood receptions: %d across all nodes for %d sent (each flood is heard by both neighbours)\n",
+		res.FloodsRcvd, res.FloodsSent)
+}

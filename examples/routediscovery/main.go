@@ -1,0 +1,88 @@
+// routediscovery replaces the paper's static routes with on-demand (AODV
+// style) route discovery over a radio-limited 3-hop chain, then runs a TCP
+// transfer across the discovered path. The route-request flood is exactly
+// the broadcast control traffic §3.2 motivates broadcast aggregation with:
+// under BA the RREQs ride inside data frames.
+//
+//	go run ./examples/routediscovery
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"aggmac/internal/mac"
+	"aggmac/internal/medium"
+	"aggmac/internal/network"
+	"aggmac/internal/phy"
+	"aggmac/internal/routing"
+	"aggmac/internal/tcp"
+	"aggmac/internal/topology"
+)
+
+func main() {
+	// A 3-hop chain where radios only reach adjacent neighbours (unlike
+	// the paper's one-room testbed, discovery here is genuinely
+	// multi-hop). Start from the standard topology and cut the long links.
+	net := topology.NewLinear(3, topology.Config{
+		Seed: 1,
+		Phy:  phy.DefaultParams(),
+		OptsFor: func(i, n int) mac.Options {
+			return mac.DefaultOptions(mac.BA, phy.Rate1300k)
+		},
+	})
+	for i := 0; i < 4; i++ {
+		for j := i + 2; j < 4; j++ {
+			net.Medium.SetConnected(medium.NodeID(i), medium.NodeID(j), false)
+		}
+	}
+	// Drop the static routes the builder installed: routing is on-demand.
+	for _, node := range net.Nodes {
+		for d := network.NodeID(0); d < 4; d++ {
+			node.DelRoute(d)
+		}
+	}
+	routers := make([]*routing.Router, 4)
+	for i, node := range net.Nodes {
+		routers[i] = routing.New(net.Sched, node, routing.DefaultConfig())
+	}
+
+	stacks := make([]*tcp.Stack, 4)
+	for i, node := range net.Nodes {
+		stacks[i] = tcp.NewStack(net.Sched, node, tcp.DefaultConfig())
+	}
+
+	const fileSize = 100_000
+	var done time.Duration
+	var rcvd int
+	lis := stacks[3].Listen(80)
+	lis.Setup = func(c *tcp.Conn) {
+		c.OnData = func(b []byte) {
+			rcvd += len(b)
+			if rcvd >= fileSize && done == 0 {
+				done = time.Duration(net.Sched.Now())
+			}
+		}
+		c.OnPeerClose = func() { c.Close() }
+	}
+	net.Sched.After(0, "connect", func() {
+		conn := stacks[0].Connect(3, 80)
+		conn.OnEstablished = func() {
+			fmt.Printf("connection established at t=%v (discovery + handshake)\n",
+				time.Duration(net.Sched.Now()).Round(time.Millisecond))
+			_ = conn.Send(make([]byte, fileSize))
+			conn.Close()
+		}
+	})
+	net.Sched.RunUntil(120 * time.Second)
+
+	fmt.Printf("transferred %d bytes over a discovered 3-hop route in %v (%.3f Mbps)\n",
+		rcvd, done.Round(time.Millisecond), float64(fileSize)*8/done.Seconds()/1e6)
+	for i, r := range routers {
+		s := r.Stats()
+		fmt.Printf("node %d: %d RREQ sent, %d RREP sent/fwd, %d routes installed\n",
+			i, s.RREQSent, s.RREPSent+s.RREPFwd, s.RoutesAdded)
+	}
+	next, _ := net.Nodes[0].Route(3)
+	fmt.Printf("node 0 reaches node 3 via node %d\n", next)
+}

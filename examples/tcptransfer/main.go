@@ -1,0 +1,45 @@
+// tcptransfer compares the paper's four MAC configurations — no
+// aggregation (NA), unicast aggregation (UA), broadcast aggregation with
+// TCP-ACKs-as-broadcasts (BA), and delayed BA (DBA) — across all four
+// experiment rates on 2- and 3-hop chains. This is the workload of the
+// paper's Figures 8, 11 and 13.
+//
+//	go run ./examples/tcptransfer
+package main
+
+import (
+	"fmt"
+
+	"aggmac/internal/core"
+	"aggmac/internal/mac"
+	"aggmac/internal/phy"
+)
+
+func main() {
+	schemes := []mac.Scheme{mac.NA, mac.UA, mac.BA, mac.DBA}
+	for _, hops := range []int{2, 3} {
+		fmt.Printf("%d-hop chain, 0.2 MB transfer (Mbps):\n", hops)
+		fmt.Printf("%-6s", "")
+		for _, r := range phy.ExperimentRates() {
+			fmt.Printf("%10s", r)
+		}
+		fmt.Println()
+		base := make([]float64, len(phy.ExperimentRates()))
+		for _, s := range schemes {
+			fmt.Printf("%-6s", s.Name())
+			for i, r := range phy.ExperimentRates() {
+				res := core.RunTCP(core.TCPConfig{Scheme: s, Rate: r, Hops: hops, Seed: 1})
+				if s.Name() == "NA" {
+					base[i] = res.ThroughputMbps
+				}
+				fmt.Printf("%10.3f", res.ThroughputMbps)
+				_ = i
+			}
+			fmt.Println()
+		}
+		// Gain of full BA over no aggregation at the top rate.
+		ba := core.RunTCP(core.TCPConfig{Scheme: mac.BA, Rate: phy.Rate2600k, Hops: hops, Seed: 1})
+		fmt.Printf("BA gains %.0f%% over NA at 2.6 Mbps\n\n",
+			100*(ba.ThroughputMbps-base[3])/base[3])
+	}
+}

@@ -1,0 +1,138 @@
+// Package analytic provides closed-form throughput predictions for the
+// aggregation MAC — the back-of-envelope math of §2's observation that MAC
+// overhead bounds throughput, made precise. The simulator is validated
+// against these expressions (see tests), and they explain the calibration
+// of the PHY/MAC timing constants against the paper's Table 4.
+//
+// The model assumes a saturated, error-free channel with no collisions
+// (contention cost enters only as the mean backoff of CWmin/2 slots),
+// which is accurate for the paper's chain topologies where carrier sense
+// plus NAV serializes the nodes.
+package analytic
+
+import (
+	"time"
+
+	"aggmac/internal/frame"
+	"aggmac/internal/mac"
+	"aggmac/internal/phy"
+)
+
+// Model holds the timing constants.
+type Model struct {
+	Phy phy.Params
+	MAC mac.Options
+}
+
+// New builds a model from the calibrated defaults at the given rate.
+func New(rate phy.Rate) Model {
+	return Model{Phy: phy.DefaultParams(), MAC: mac.DefaultOptions(mac.BA, rate)}
+}
+
+// meanBackoff is the expected initial contention window wait.
+func (m Model) meanBackoff() time.Duration {
+	return time.Duration(m.MAC.CWmin) * m.MAC.Slot / 2
+}
+
+func (m Model) control(size int) time.Duration {
+	return m.Phy.PreamblePLCP + phy.Airtime(size, m.Phy.ControlRate)
+}
+
+// UnicastExchange is the channel time of one RTS/CTS-protected aggregate
+// carrying bodyBytes at rate, including floor acquisition.
+//
+//	DIFS + E[backoff] + RTS + SIFS + CTS + SIFS + (preamble + body) +
+//	SIFS + ACK
+func (m Model) UnicastExchange(bodyBytes int, rate phy.Rate, hasBroadcastDesc bool) time.Duration {
+	return m.MAC.DIFS + m.meanBackoff() +
+		m.control(frame.RTSLen) + m.MAC.SIFS +
+		m.control(frame.CTSLen) + m.MAC.SIFS +
+		m.Phy.PreamblePLCP + m.Phy.BroadcastDescDuration(hasBroadcastDesc) +
+		phy.Airtime(bodyBytes, rate) +
+		m.MAC.SIFS + m.control(frame.AckLen)
+}
+
+// BroadcastExchange is the channel time of a broadcast-only transmission:
+// no RTS/CTS, no link ACK.
+func (m Model) BroadcastExchange(bodyBytes int, rate phy.Rate) time.Duration {
+	return m.MAC.DIFS + m.meanBackoff() +
+		m.Phy.PreamblePLCP + m.Phy.BroadcastDescDuration(true) +
+		phy.Airtime(bodyBytes, rate)
+}
+
+// UDPFrameBytes is the paper's UDP MAC frame size.
+const UDPFrameBytes = 1140
+
+// udpPayload is the application payload inside one 1140 B UDP frame.
+const udpPayload = UDPFrameBytes - frame.SubframeOverhead - 59 - 8 // encap+IP, UDP
+
+// UDPThroughputMbps predicts saturated UDP goodput over an n-hop chain
+// with aggregates of aggFrames frames. Hops share one collision domain, so
+// per-packet channel time multiplies by the hop count.
+func (m Model) UDPThroughputMbps(hops, aggFrames int, rate phy.Rate) float64 {
+	body := aggFrames * UDPFrameBytes
+	t := m.UnicastExchange(body, rate, false)
+	perPacket := time.Duration(hops) * t / time.Duration(aggFrames)
+	return float64(udpPayload) * 8 / perPacket.Seconds() / 1e6
+}
+
+// TCP frame sizes from the paper (§5).
+const (
+	TCPDataFrameBytes = 1464
+	TCPAckFrameBytes  = 160
+	TCPMSS            = 1357
+)
+
+// TCPThroughputMbps predicts steady-state TCP goodput over an n-hop chain
+// for the paper's schemes. dataAgg and ackAgg are the aggregation degrees
+// (1 for NA; the paper's ~3 data and ~3 ACKs for UA/BA).
+//
+// Channel time per window of dataAgg segments:
+//
+//	NA/UA: every hop carries a data exchange and an ACK exchange.
+//	BA:    relays fold the ACKs into the data exchange's broadcast
+//	       portion; only the client pays a separate (broadcast-only,
+//	       uncontrolled) transmission for its ACK bundle.
+func (m Model) TCPThroughputMbps(scheme mac.Scheme, hops, dataAgg, ackAgg int, rate phy.Rate) float64 {
+	if !scheme.AggregateUnicast {
+		dataAgg, ackAgg = 1, 1
+	}
+	dataBody := dataAgg * TCPDataFrameBytes
+	segments := dataAgg
+
+	var perWindow time.Duration
+	if scheme.AggregateBroadcast && scheme.ClassifyTCPAcks {
+		// acks matching the window, rounded up to bundles of ackAgg
+		ackBody := segments * TCPAckFrameBytes
+		// Data hops: data exchange with ACKs riding at relays (all hops
+		// except the first carry the previous window's ACK bytes).
+		first := m.UnicastExchange(dataBody, rate, false)
+		relayHops := hops - 1
+		withAcks := m.UnicastExchange(dataBody+ackBody, rate, true)
+		client := m.BroadcastExchange(ackBody, rate)
+		perWindow = first + time.Duration(relayHops)*withAcks + client
+	} else {
+		ackBundles := (segments + ackAgg - 1) / ackAgg
+		data := m.UnicastExchange(dataBody, rate, false)
+		ack := m.UnicastExchange(ackAgg*TCPAckFrameBytes, rate, false)
+		perWindow = time.Duration(hops) * (data + time.Duration(ackBundles)*ack)
+	}
+	return float64(segments*TCPMSS) * 8 / perWindow.Seconds() / 1e6
+}
+
+// NATimeOverhead predicts the Table 4 overhead fraction for a NA relay
+// forwarding the paper's TCP mix: the non-payload share of one data and
+// one ACK exchange.
+func (m Model) NATimeOverhead(rate phy.Rate) float64 {
+	var overhead, payload time.Duration
+	for _, f := range []struct{ frame, pay int }{
+		{TCPDataFrameBytes, TCPDataFrameBytes - frame.SubframeOverhead},
+		{TCPAckFrameBytes, TCPAckFrameBytes - frame.SubframeOverhead},
+	} {
+		t := m.UnicastExchange(f.frame, rate, false)
+		p := phy.Airtime(f.pay, rate)
+		payload += p
+		overhead += t - p
+	}
+	return float64(overhead) / float64(overhead+payload)
+}

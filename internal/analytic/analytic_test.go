@@ -1,0 +1,112 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"aggmac/internal/core"
+	"aggmac/internal/mac"
+	"aggmac/internal/phy"
+)
+
+func within(t *testing.T, what string, got, want, tolerance float64) {
+	t.Helper()
+	if math.Abs(got-want)/want > tolerance {
+		t.Errorf("%s: model %.3f vs %.3f (tolerance %.0f%%)", what, got, want, 100*tolerance)
+	}
+}
+
+func TestExchangeComposition(t *testing.T) {
+	m := New(phy.Rate650k)
+	// A 1140 B frame at 0.65 Mbps: ~14.03 ms of body plus ~2.66 ms of
+	// fixed overhead (hand computation from the calibrated constants).
+	got := m.UnicastExchange(1140, phy.Rate650k, false)
+	if got < 16*time.Millisecond || got > 17500*time.Microsecond {
+		t.Errorf("exchange time %v, expected ~16.7 ms", got)
+	}
+	// Broadcast exchanges skip RTS/CTS/ACK: strictly cheaper.
+	if b := m.BroadcastExchange(1140, phy.Rate650k); b >= got {
+		t.Errorf("broadcast exchange %v not cheaper than unicast %v", b, got)
+	}
+}
+
+func TestModelMatchesPaperTable4(t *testing.T) {
+	// The analytic NA overhead must land on the paper's measured column
+	// (this is the calibration identity).
+	paper := map[phy.Rate]float64{
+		phy.Rate650k:  0.224,
+		phy.Rate1300k: 0.349,
+		phy.Rate1950k: 0.444,
+		phy.Rate2600k: 0.521,
+	}
+	for rate, want := range paper {
+		m := New(rate)
+		within(t, "NA overhead "+rate.String(), m.NATimeOverhead(rate), want, 0.06)
+	}
+}
+
+func TestModelMatchesSimulatorUDP(t *testing.T) {
+	// Saturated UDP on clean channels: the simulator should track the
+	// closed form within ~10%.
+	for _, c := range []struct {
+		hops   int
+		agg    int
+		scheme mac.Scheme
+		rate   phy.Rate
+	}{
+		{1, 1, mac.NA, phy.Rate650k},
+		{2, 1, mac.NA, phy.Rate650k},
+		{2, 1, mac.NA, phy.Rate1300k},
+		{2, 4, mac.UA, phy.Rate650k},
+		{2, 4, mac.UA, phy.Rate1300k},
+	} {
+		m := New(c.rate)
+		pred := m.UDPThroughputMbps(c.hops, c.agg, c.rate)
+		sim := core.RunUDP(core.UDPConfig{Scheme: c.scheme, Rate: c.rate, Hops: c.hops,
+			Seed: 9, Duration: 30 * time.Second}).ThroughputMbps
+		within(t, c.scheme.Name()+" UDP", pred, sim, 0.12)
+	}
+}
+
+func TestModelMatchesSimulatorTCPNA(t *testing.T) {
+	m := New(phy.Rate650k)
+	pred := m.TCPThroughputMbps(mac.NA, 2, 1, 1, phy.Rate650k)
+	sim := core.RunTCP(core.TCPConfig{Scheme: mac.NA, Rate: phy.Rate650k, Hops: 2, Seed: 9}).ThroughputMbps
+	within(t, "TCP NA 2-hop", pred, sim, 0.15)
+}
+
+func TestModelSchemeOrdering(t *testing.T) {
+	// The closed form itself predicts the paper's ordering at every rate.
+	for _, rate := range phy.ExperimentRates() {
+		m := New(rate)
+		na := m.TCPThroughputMbps(mac.NA, 2, 1, 1, rate)
+		ua := m.TCPThroughputMbps(mac.UA, 2, 3, 3, rate)
+		ba := m.TCPThroughputMbps(mac.BA, 2, 3, 3, rate)
+		if !(na < ua && ua < ba) {
+			t.Errorf("at %v: model predicts NA %.3f, UA %.3f, BA %.3f — ordering broken",
+				rate, na, ua, ba)
+		}
+	}
+	// And the BA edge grows with rate.
+	mLow, mHigh := New(phy.Rate650k), New(phy.Rate2600k)
+	gLow := mLow.TCPThroughputMbps(mac.BA, 2, 3, 3, phy.Rate650k)/mLow.TCPThroughputMbps(mac.UA, 2, 3, 3, phy.Rate650k) - 1
+	gHigh := mHigh.TCPThroughputMbps(mac.BA, 2, 3, 3, phy.Rate2600k)/mHigh.TCPThroughputMbps(mac.UA, 2, 3, 3, phy.Rate2600k) - 1
+	if gHigh <= gLow {
+		t.Errorf("model BA/UA gap does not grow with rate: %.3f -> %.3f", gLow, gHigh)
+	}
+}
+
+func TestAggregationAmortizesOverhead(t *testing.T) {
+	m := New(phy.Rate2600k)
+	one := m.UDPThroughputMbps(1, 1, phy.Rate2600k)
+	four := m.UDPThroughputMbps(1, 4, phy.Rate2600k)
+	if four <= one {
+		t.Fatalf("aggregation did not help: %.3f vs %.3f", four, one)
+	}
+	// Diminishing returns: 4->8 gains less than 1->4.
+	eight := m.UDPThroughputMbps(1, 8, phy.Rate2600k)
+	if (eight-four)/four >= (four-one)/one {
+		t.Error("no diminishing returns in aggregation degree")
+	}
+}

@@ -1,0 +1,402 @@
+// Package core is the public experiment API of the reproduction: it wires
+// topology, MAC scheme, PHY rates and traffic into runnable experiments and
+// returns the metrics the paper reports — end-to-end throughput plus the
+// per-node frame-size / transmission-count / overhead detail of its
+// Tables 3–8.
+package core
+
+import (
+	"io"
+	"time"
+
+	"aggmac/internal/flood"
+	"aggmac/internal/mac"
+	"aggmac/internal/network"
+	"aggmac/internal/phy"
+	"aggmac/internal/sim"
+	"aggmac/internal/tcp"
+	"aggmac/internal/topology"
+	"aggmac/internal/trace"
+	"aggmac/internal/udp"
+)
+
+// PaperFileBytes is the paper's transfer size (§5: a 0.2 Mbyte file).
+const PaperFileBytes = 200_000
+
+// NodeReport captures one node's counters after a run.
+type NodeReport struct {
+	ID   int
+	Role string
+	MAC  mac.Counters
+	Net  network.Stats
+	// PreambleBytes is the preamble byte-equivalent used by the Table 3
+	// size-overhead metric at this node's rate.
+	PreambleBytes float64
+}
+
+// TCPConfig describes a TCP experiment.
+type TCPConfig struct {
+	Scheme mac.Scheme
+	Rate   phy.Rate
+	// FixedBroadcastRate pins the broadcast-portion rate (Figure 10);
+	// nil means broadcast at the unicast rate (Figure 11 onward).
+	FixedBroadcastRate *phy.Rate
+	// Hops selects an N-hop linear chain; ignored when Star is set.
+	Hops int
+	// Star runs the two-session star topology instead.
+	Star bool
+	// FileBytes per session; defaults to PaperFileBytes.
+	FileBytes int
+	// MaxAggBytes caps aggregation; defaults to 5120 (§6.1).
+	MaxAggBytes int
+	// DelayRelaysOnly applies the scheme's DelayMinFrames at relay nodes
+	// only, as §6.4.3 describes. Default true (set DelayEverywhere to
+	// override).
+	DelayEverywhere bool
+	// BlockAck / AutoAggSize enable the §7 extensions.
+	BlockAck    bool
+	AutoAggSize bool
+	// FlushTimeout overrides the DBA flush bound (0 keeps the default).
+	FlushTimeout time.Duration
+	// Tweak, when set, adjusts every node's final MAC options — the hook
+	// the ablation benches use (RTS off, head-only gather, ...).
+	Tweak func(*mac.Options)
+	// TraceTo, when set, streams the channel timeline (every control
+	// frame, aggregate, collision) to the writer.
+	TraceTo io.Writer
+	// TCP overrides the transport config; zero value means defaults.
+	TCP tcp.Config
+	// Phy overrides the channel constants; nil means calibrated defaults.
+	Phy *phy.Params
+	// Seed makes runs reproducible; rows of a sweep should vary it.
+	Seed int64
+	// Deadline bounds simulated time (default 1200 s).
+	Deadline time.Duration
+}
+
+// SessionReport describes one TCP session's outcome.
+type SessionReport struct {
+	Server, Client network.NodeID
+	Mbps           float64
+	Done           bool
+	Finish         time.Duration
+	Sender         tcp.Stats
+	Receiver       tcp.Stats
+}
+
+// TCPResult is what a TCP experiment measures.
+type TCPResult struct {
+	// ThroughputMbps is end-to-end goodput; for the star it is the
+	// worst-case session, matching §6.4.2.
+	ThroughputMbps float64
+	// SessionMbps lists each session's goodput.
+	SessionMbps []float64
+	// Sessions holds per-session detail including TCP counters.
+	Sessions []SessionReport
+	// Completed reports whether every session finished within Deadline.
+	Completed bool
+	// Elapsed is the slowest session's completion time.
+	Elapsed time.Duration
+	// Nodes holds per-node counters (relay rows feed Tables 3–8).
+	Nodes []NodeReport
+}
+
+func (c *TCPConfig) fill() {
+	if c.FileBytes == 0 {
+		c.FileBytes = PaperFileBytes
+	}
+	if c.MaxAggBytes == 0 {
+		c.MaxAggBytes = 5120
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 1200 * time.Second
+	}
+	if c.Hops == 0 && !c.Star {
+		c.Hops = 2
+	}
+}
+
+func (c *TCPConfig) phyParams() phy.Params {
+	if c.Phy != nil {
+		return *c.Phy
+	}
+	return phy.DefaultParams()
+}
+
+// macOptsFor builds per-node MAC options honouring the per-role DBA rule.
+func (c *TCPConfig) macOptsFor(relay func(i, n int) bool) func(i, n int) mac.Options {
+	return func(i, n int) mac.Options {
+		scheme := c.Scheme
+		if scheme.DelayMinFrames > 1 && !c.DelayEverywhere && !relay(i, n) {
+			scheme.DelayMinFrames = 0
+		}
+		opts := mac.DefaultOptions(scheme, c.Rate)
+		opts.MaxAggBytes = c.MaxAggBytes
+		opts.BlockAck = c.BlockAck
+		opts.AutoAggSize = c.AutoAggSize
+		if c.FlushTimeout > 0 {
+			opts.FlushTimeout = c.FlushTimeout
+		}
+		if c.FixedBroadcastRate != nil {
+			opts.BroadcastRate = *c.FixedBroadcastRate
+		}
+		if c.Tweak != nil {
+			c.Tweak(&opts)
+		}
+		return opts
+	}
+}
+
+// session is one file transfer.
+type session struct {
+	server, client network.NodeID
+	port           uint16
+	done           bool
+	finish         sim.Time
+}
+
+// RunTCP executes the experiment.
+func RunTCP(cfg TCPConfig) TCPResult {
+	cfg.fill()
+	tcfg := cfg.TCP
+	if tcfg.MSS == 0 {
+		tcfg = tcp.DefaultConfig()
+	}
+
+	var net *topology.Network
+	var sessions []*session
+	var roleOf func(i, n int) string
+	if cfg.Star {
+		relay := func(i, n int) bool { return i == topology.StarCenter }
+		net = topology.NewStar(topology.Config{Seed: cfg.Seed, Phy: cfg.phyParams(), OptsFor: cfg.macOptsFor(relay)})
+		for si, srv := range topology.StarServers() {
+			sessions = append(sessions, &session{server: srv, client: topology.StarClient, port: uint16(8000 + si)})
+		}
+		roleOf = func(i, n int) string { return topology.StarRole(i) }
+	} else {
+		net = topology.NewLinear(cfg.Hops, topology.Config{Seed: cfg.Seed, Phy: cfg.phyParams(), OptsFor: cfg.macOptsFor(topology.IsRelay)})
+		sessions = append(sessions, &session{server: 0, client: network.NodeID(cfg.Hops), port: 8000})
+		roleOf = topology.LinearRole
+	}
+
+	if cfg.TraceTo != nil {
+		net.Medium.SetObserver(trace.New(cfg.TraceTo).Observe)
+	}
+
+	stacks := make([]*tcp.Stack, len(net.Nodes))
+	for i, node := range net.Nodes {
+		stacks[i] = tcp.NewStack(net.Sched, node, tcfg)
+	}
+
+	remaining := len(sessions)
+	conns := make([]*tcp.Conn, len(sessions))
+	rconns := make([]*tcp.Conn, len(sessions))
+	for i, s := range sessions {
+		i, s := i, s
+		lis := stacks[s.client].Listen(s.port)
+		var got int64
+		lis.Setup = func(conn *tcp.Conn) {
+			rconns[i] = conn
+			conn.OnData = func(b []byte) {
+				got += int64(len(b))
+				if !s.done && got >= int64(cfg.FileBytes) {
+					s.done = true
+					s.finish = net.Sched.Now()
+					remaining--
+					if remaining == 0 {
+						net.Sched.Halt()
+					}
+				}
+			}
+			conn.OnPeerClose = func() { conn.Close() }
+		}
+		// Stagger session starts by a few microseconds so simultaneous
+		// SYNs do not collide forever on identical backoff draws.
+		start := time.Duration(s.port-8000) * 150 * time.Microsecond
+		net.Sched.After(start, "core:connect", func() {
+			conn := stacks[s.server].Connect(s.client, s.port)
+			conns[i] = conn
+			data := make([]byte, cfg.FileBytes)
+			conn.OnEstablished = func() {
+				_ = conn.Send(data)
+				conn.Close()
+			}
+		})
+	}
+
+	net.Sched.RunUntil(cfg.Deadline)
+
+	res := TCPResult{Completed: true}
+	for i, s := range sessions {
+		rep := SessionReport{Server: s.server, Client: s.client, Done: s.done, Finish: s.finish}
+		if conns[i] != nil {
+			rep.Sender = conns[i].Stats()
+		}
+		if rconns[i] != nil {
+			rep.Receiver = rconns[i].Stats()
+		}
+		if !s.done {
+			res.Completed = false
+			res.SessionMbps = append(res.SessionMbps, 0)
+			res.Sessions = append(res.Sessions, rep)
+			continue
+		}
+		if s.finish > res.Elapsed {
+			res.Elapsed = s.finish
+		}
+		rep.Mbps = float64(cfg.FileBytes) * 8 / s.finish.Seconds() / 1e6
+		res.SessionMbps = append(res.SessionMbps, rep.Mbps)
+		res.Sessions = append(res.Sessions, rep)
+	}
+	res.ThroughputMbps = res.SessionMbps[0]
+	for _, m := range res.SessionMbps {
+		if m < res.ThroughputMbps {
+			res.ThroughputMbps = m
+		}
+	}
+	for i, node := range net.Nodes {
+		res.Nodes = append(res.Nodes, NodeReport{
+			ID:            i,
+			Role:          roleOf(i, len(net.Nodes)),
+			MAC:           node.MAC().Counters(),
+			Net:           node.Stats(),
+			PreambleBytes: node.MAC().PreambleBytesPerTx(),
+		})
+	}
+	return res
+}
+
+// UDPConfig describes a UDP experiment (with optional flooding).
+type UDPConfig struct {
+	Scheme mac.Scheme
+	Rate   phy.Rate
+	Hops   int
+	// MaxAggBytes caps aggregation (the Figure 7 x-axis); default 5120.
+	MaxAggBytes int
+	// Burst and Interval select paced generation (Burst packets every
+	// Interval); Burst==0 saturates the sender queue.
+	Burst    int
+	Interval time.Duration
+	// PayloadBytes per datagram; default sizes frames to 1140 B.
+	PayloadBytes int
+	// FloodInterval, when >0, runs a flooding generator on every node
+	// (Figure 9's x-axis).
+	FloodInterval time.Duration
+	// Duration and Warmup bound the measurement.
+	Duration time.Duration
+	Warmup   time.Duration
+	Phy      *phy.Params
+	Seed     int64
+	// TraceTo streams the channel timeline to the writer.
+	TraceTo io.Writer
+}
+
+// UDPResult is what a UDP experiment measures.
+type UDPResult struct {
+	ThroughputMbps float64
+	SinkPackets    int
+	// Delay summarises one-way datagram latency over the measurement
+	// window (a metric the paper leaves unreported; DBA trades it for
+	// aggregation).
+	Delay      udp.DelayStats
+	FloodsSent int
+	FloodsRcvd int
+	Nodes      []NodeReport
+}
+
+// RunUDP executes the experiment on a linear chain, node 0 → node Hops.
+func RunUDP(cfg UDPConfig) UDPResult {
+	if cfg.Hops == 0 {
+		cfg.Hops = 2
+	}
+	if cfg.MaxAggBytes == 0 {
+		cfg.MaxAggBytes = 5120
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 60 * time.Second
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 2 * time.Second
+	}
+	params := phy.DefaultParams()
+	if cfg.Phy != nil {
+		params = *cfg.Phy
+	}
+	optsFor := func(i, n int) mac.Options {
+		opts := mac.DefaultOptions(cfg.Scheme, cfg.Rate)
+		opts.MaxAggBytes = cfg.MaxAggBytes
+		return opts
+	}
+	net := topology.NewLinear(cfg.Hops, topology.Config{Seed: cfg.Seed, Phy: params, OptsFor: optsFor})
+	if cfg.TraceTo != nil {
+		net.Medium.SetObserver(trace.New(cfg.TraceTo).Observe)
+	}
+
+	eps := make([]*udp.Endpoint, len(net.Nodes))
+	for i, node := range net.Nodes {
+		eps[i] = udp.NewEndpoint(net.Sched, node)
+	}
+	sink := udp.NewSink(eps[cfg.Hops], 9000)
+	sink.MeasureFrom(cfg.Warmup)
+	sender := &udp.Sender{
+		Endpoint: eps[0], Dst: network.NodeID(cfg.Hops),
+		SrcPort: 9001, DstPort: 9000,
+		PayloadBytes: cfg.PayloadBytes,
+		Interval:     cfg.Interval, Burst: cfg.Burst,
+		Timestamp: true,
+	}
+
+	var gens []*flood.Generator
+	var counters []*flood.Counter
+	if cfg.FloodInterval > 0 {
+		for _, node := range net.Nodes {
+			gens = append(gens, flood.NewGenerator(net.Sched, node, cfg.FloodInterval))
+			counters = append(counters, flood.NewCounter(node))
+		}
+	}
+
+	net.Sched.After(0, "core:start", func() {
+		sender.Start()
+		for _, g := range gens {
+			g.Start()
+		}
+	})
+	net.Sched.RunUntil(cfg.Duration)
+	sender.Stop()
+	for _, g := range gens {
+		g.Stop()
+	}
+
+	res := UDPResult{
+		ThroughputMbps: sink.ThroughputMbps(),
+		SinkPackets:    sink.Packets,
+		Delay:          sink.Delays(),
+	}
+	for _, g := range gens {
+		res.FloodsSent += g.Sent
+	}
+	for _, c := range counters {
+		res.FloodsRcvd += c.Received
+	}
+	for i, node := range net.Nodes {
+		res.Nodes = append(res.Nodes, NodeReport{
+			ID:            i,
+			Role:          topology.LinearRole(i, len(net.Nodes)),
+			MAC:           node.MAC().Counters(),
+			Net:           node.Stats(),
+			PreambleBytes: node.MAC().PreambleBytesPerTx(),
+		})
+	}
+	return res
+}
+
+// Relay returns the report of the first relay node (the paper's detail
+// tables are measured at relays).
+func Relay(nodes []NodeReport) NodeReport {
+	for _, n := range nodes {
+		if n.Role == "relay" || n.Role == "center" {
+			return n
+		}
+	}
+	return NodeReport{}
+}

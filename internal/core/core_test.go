@@ -1,0 +1,283 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"aggmac/internal/mac"
+	"aggmac/internal/phy"
+)
+
+func TestRunTCPCompletes(t *testing.T) {
+	r := RunTCP(TCPConfig{Scheme: mac.UA, Rate: phy.Rate1300k, Hops: 2, Seed: 1})
+	if !r.Completed {
+		t.Fatal("2-hop UA transfer did not complete")
+	}
+	if r.ThroughputMbps <= 0 || r.ThroughputMbps > phy.Rate1300k.Mbps() {
+		t.Fatalf("throughput %v Mbps out of range", r.ThroughputMbps)
+	}
+	if len(r.Nodes) != 3 {
+		t.Fatalf("%d node reports, want 3", len(r.Nodes))
+	}
+	if r.Nodes[0].Role != "server" || r.Nodes[1].Role != "relay" || r.Nodes[2].Role != "client" {
+		t.Fatalf("roles: %s/%s/%s", r.Nodes[0].Role, r.Nodes[1].Role, r.Nodes[2].Role)
+	}
+	// The run halts the instant the client has the whole file, so check
+	// delivery at the receiver (the sender may still await final ACKs).
+	if r.Sessions[0].Receiver.BytesDelivered < PaperFileBytes {
+		t.Errorf("receiver delivered only %d bytes", r.Sessions[0].Receiver.BytesDelivered)
+	}
+}
+
+func TestRunTCPDeterministicPerSeed(t *testing.T) {
+	a := RunTCP(TCPConfig{Scheme: mac.BA, Rate: phy.Rate1950k, Hops: 2, Seed: 7})
+	b := RunTCP(TCPConfig{Scheme: mac.BA, Rate: phy.Rate1950k, Hops: 2, Seed: 7})
+	if a.ThroughputMbps != b.ThroughputMbps || a.Elapsed != b.Elapsed {
+		t.Fatalf("same seed diverged: %v/%v vs %v/%v", a.ThroughputMbps, a.Elapsed, b.ThroughputMbps, b.Elapsed)
+	}
+	c := RunTCP(TCPConfig{Scheme: mac.BA, Rate: phy.Rate1950k, Hops: 2, Seed: 8})
+	if a.Elapsed == c.Elapsed {
+		t.Log("different seeds produced identical runs (possible but unlikely)")
+	}
+}
+
+// TestSchemeOrdering is the paper's headline claim: at every rate,
+// UA > NA and BA >= UA (within noise) for 2-hop TCP, with the gaps growing
+// as the rate rises (Figures 8 and 11).
+func TestSchemeOrdering(t *testing.T) {
+	var naPrev, uaPrev float64
+	for _, rate := range phy.ExperimentRates() {
+		na := RunTCP(TCPConfig{Scheme: mac.NA, Rate: rate, Hops: 2, Seed: 11}).ThroughputMbps
+		ua := RunTCP(TCPConfig{Scheme: mac.UA, Rate: rate, Hops: 2, Seed: 11}).ThroughputMbps
+		ba := RunTCP(TCPConfig{Scheme: mac.BA, Rate: rate, Hops: 2, Seed: 11}).ThroughputMbps
+		if ua <= na {
+			t.Errorf("at %v: UA (%.3f) not above NA (%.3f)", rate, ua, na)
+		}
+		if ba < ua*0.98 {
+			t.Errorf("at %v: BA (%.3f) clearly below UA (%.3f)", rate, ba, ua)
+		}
+		// Gaps grow with rate (check at the top rate).
+		if rate == phy.Rate2600k {
+			if (ua-na)/na < 0.20 {
+				t.Errorf("UA/NA gap at 2.6 Mbps only %.1f%%, paper shows large gains",
+					100*(ua-na)/na)
+			}
+			if (ba-ua)/ua < 0.02 {
+				t.Errorf("BA/UA gap at 2.6 Mbps only %.1f%%, paper shows ~10%%",
+					100*(ba-ua)/ua)
+			}
+		}
+		naPrev, uaPrev = na, ua
+	}
+	_, _ = naPrev, uaPrev
+}
+
+func TestHopCountReducesThroughput(t *testing.T) {
+	h2 := RunTCP(TCPConfig{Scheme: mac.BA, Rate: phy.Rate1300k, Hops: 2, Seed: 13}).ThroughputMbps
+	h3 := RunTCP(TCPConfig{Scheme: mac.BA, Rate: phy.Rate1300k, Hops: 3, Seed: 13}).ThroughputMbps
+	if h3 >= h2 {
+		t.Fatalf("3-hop (%.3f) not below 2-hop (%.3f)", h3, h2)
+	}
+}
+
+func TestStarRunsTwoSessions(t *testing.T) {
+	r := RunTCP(TCPConfig{Scheme: mac.BA, Rate: phy.Rate1300k, Star: true, Seed: 17,
+		FileBytes: 100_000})
+	if !r.Completed {
+		t.Fatal("star sessions did not complete")
+	}
+	if len(r.SessionMbps) != 2 {
+		t.Fatalf("%d sessions, want 2", len(r.SessionMbps))
+	}
+	// Worst-case selection.
+	worst := r.SessionMbps[0]
+	if r.SessionMbps[1] < worst {
+		worst = r.SessionMbps[1]
+	}
+	if r.ThroughputMbps != worst {
+		t.Fatalf("ThroughputMbps %v != worst session %v", r.ThroughputMbps, worst)
+	}
+	// The centre forwarded both streams.
+	center := r.Nodes[1]
+	if center.Role != "center" || center.Net.Forwarded == 0 {
+		t.Fatalf("centre report wrong: %+v", center.Role)
+	}
+}
+
+// TestStarBAAggregatesAcrossSessions reproduces the §6.4.5 star insight:
+// under BA the centre combines TCP ACKs for different servers with data
+// for the client in single frames, which UA cannot (Table 5: BA frame size
+// grows in the star, UA's does not).
+func TestStarBAAggregatesAcrossSessions(t *testing.T) {
+	ua := RunTCP(TCPConfig{Scheme: mac.UA, Rate: phy.Rate2600k, Star: true, Seed: 19, FileBytes: 100_000})
+	ba := RunTCP(TCPConfig{Scheme: mac.BA, Rate: phy.Rate2600k, Star: true, Seed: 19, FileBytes: 100_000})
+	uaC, baC := ua.Nodes[1].MAC, ba.Nodes[1].MAC
+	if baC.AvgFrameBytes() <= uaC.AvgFrameBytes() {
+		t.Errorf("star centre: BA frames (%.0f B) not larger than UA frames (%.0f B)",
+			baC.AvgFrameBytes(), uaC.AvgFrameBytes())
+	}
+	if baC.BroadcastSubTx == 0 {
+		t.Error("star centre sent no broadcast subframes under BA")
+	}
+}
+
+func TestForwardAggregationAblation(t *testing.T) {
+	// Fig 14: BA without forward aggregation sits between NA and BA, and
+	// the gap to full BA grows with rate.
+	noFwd := mac.BA
+	noFwd.DisableForwardAggregation = true
+	for _, rate := range []phy.Rate{phy.Rate650k, phy.Rate2600k} {
+		na := RunTCP(TCPConfig{Scheme: mac.NA, Rate: rate, Hops: 3, Seed: 23}).ThroughputMbps
+		bo := RunTCP(TCPConfig{Scheme: noFwd, Rate: rate, Hops: 3, Seed: 23}).ThroughputMbps
+		ba := RunTCP(TCPConfig{Scheme: mac.BA, Rate: rate, Hops: 3, Seed: 23}).ThroughputMbps
+		if !(na <= bo*1.02 && bo <= ba*1.02) {
+			t.Errorf("at %v: ordering NA(%.3f) <= BA-noFwd(%.3f) <= BA(%.3f) violated",
+				rate, na, bo, ba)
+		}
+	}
+}
+
+func TestRelayDetailMetrics(t *testing.T) {
+	// Table 3 shape: frame size NA < UA <= BA; TX count NA > UA > BA;
+	// size overhead NA > UA >= BA.
+	na := Relay(RunTCP(TCPConfig{Scheme: mac.NA, Rate: phy.Rate2600k, Hops: 2, Seed: 29}).Nodes)
+	ua := Relay(RunTCP(TCPConfig{Scheme: mac.UA, Rate: phy.Rate2600k, Hops: 2, Seed: 29}).Nodes)
+	ba := Relay(RunTCP(TCPConfig{Scheme: mac.BA, Rate: phy.Rate2600k, Hops: 2, Seed: 29}).Nodes)
+
+	if !(na.MAC.AvgFrameBytes() < ua.MAC.AvgFrameBytes()) {
+		t.Errorf("frame size: NA %.0f !< UA %.0f", na.MAC.AvgFrameBytes(), ua.MAC.AvgFrameBytes())
+	}
+	if !(ua.MAC.AvgFrameBytes() < ba.MAC.AvgFrameBytes()*1.05) {
+		t.Errorf("frame size: UA %.0f not <= BA %.0f", ua.MAC.AvgFrameBytes(), ba.MAC.AvgFrameBytes())
+	}
+	if !(na.MAC.DataTx > ua.MAC.DataTx && ua.MAC.DataTx > ba.MAC.DataTx) {
+		t.Errorf("TX counts: NA %d, UA %d, BA %d — must strictly decrease",
+			na.MAC.DataTx, ua.MAC.DataTx, ba.MAC.DataTx)
+	}
+	naOv := na.MAC.SizeOverhead(na.PreambleBytes)
+	uaOv := ua.MAC.SizeOverhead(ua.PreambleBytes)
+	baOv := ba.MAC.SizeOverhead(ba.PreambleBytes)
+	if !(naOv > uaOv && uaOv >= baOv*0.95) {
+		t.Errorf("size overhead: NA %.3f, UA %.3f, BA %.3f — must decrease", naOv, uaOv, baOv)
+	}
+	// NA per-frame average is between an ACK (160) and a data frame (1464).
+	if f := na.MAC.AvgFrameBytes(); f < 400 || f > 1200 {
+		t.Errorf("NA relay frame avg %.0f B, paper reports 765 B", f)
+	}
+}
+
+func TestTimeOverheadGrowsWithRate(t *testing.T) {
+	// Table 4: NA overhead grows from ~22%% at 0.65 to ~52%% at 2.6, and
+	// aggregation cuts it several-fold.
+	var prev float64
+	for _, rate := range phy.ExperimentRates() {
+		na := Relay(RunTCP(TCPConfig{Scheme: mac.NA, Rate: rate, Hops: 2, Seed: 31}).Nodes)
+		ov := na.MAC.TimeOverhead()
+		if ov <= prev {
+			t.Errorf("NA time overhead not growing: %.3f at %v after %.3f", ov, rate, prev)
+		}
+		prev = ov
+
+		ba := Relay(RunTCP(TCPConfig{Scheme: mac.BA, Rate: rate, Hops: 2, Seed: 31}).Nodes)
+		if bo := ba.MAC.TimeOverhead(); bo >= ov {
+			t.Errorf("at %v BA overhead %.3f not below NA %.3f", rate, bo, ov)
+		}
+	}
+	// Absolute anchors from Table 4's NA column.
+	na065 := Relay(RunTCP(TCPConfig{Scheme: mac.NA, Rate: phy.Rate650k, Hops: 2, Seed: 31}).Nodes)
+	if ov := na065.MAC.TimeOverhead(); ov < 0.12 || ov > 0.35 {
+		t.Errorf("NA overhead at 0.65 = %.3f, paper reports 0.224", ov)
+	}
+	na26 := Relay(RunTCP(TCPConfig{Scheme: mac.NA, Rate: phy.Rate2600k, Hops: 2, Seed: 31}).Nodes)
+	if ov := na26.MAC.TimeOverhead(); ov < 0.35 || ov > 0.65 {
+		t.Errorf("NA overhead at 2.6 = %.3f, paper reports 0.521", ov)
+	}
+}
+
+func TestRunUDPThroughputAndFlooding(t *testing.T) {
+	base := RunUDP(UDPConfig{Scheme: mac.BA, Rate: phy.Rate1300k, Hops: 2, Seed: 37,
+		Duration: 30 * time.Second})
+	if base.ThroughputMbps <= 0 {
+		t.Fatal("no UDP throughput")
+	}
+	flooded := RunUDP(UDPConfig{Scheme: mac.BA, Rate: phy.Rate1300k, Hops: 2, Seed: 37,
+		Duration: 30 * time.Second, FloodInterval: time.Second})
+	if flooded.FloodsSent == 0 || flooded.FloodsRcvd == 0 {
+		t.Fatal("flooding generators idle")
+	}
+	if flooded.ThroughputMbps >= base.ThroughputMbps {
+		t.Errorf("flooding did not cost anything: %.3f vs %.3f",
+			flooded.ThroughputMbps, base.ThroughputMbps)
+	}
+}
+
+// TestFloodingHurtsNAMoreThanBA is Figure 9's claim.
+func TestFloodingHurtsNAMoreThanBA(t *testing.T) {
+	interval := 500 * time.Millisecond
+	naBase := RunUDP(UDPConfig{Scheme: mac.NA, Rate: phy.Rate1300k, Hops: 2, Seed: 41, Duration: 30 * time.Second})
+	naFld := RunUDP(UDPConfig{Scheme: mac.NA, Rate: phy.Rate1300k, Hops: 2, Seed: 41, Duration: 30 * time.Second, FloodInterval: interval})
+	baBase := RunUDP(UDPConfig{Scheme: mac.BA, Rate: phy.Rate1300k, Hops: 2, Seed: 41, Duration: 30 * time.Second})
+	baFld := RunUDP(UDPConfig{Scheme: mac.BA, Rate: phy.Rate1300k, Hops: 2, Seed: 41, Duration: 30 * time.Second, FloodInterval: interval})
+	naLoss := (naBase.ThroughputMbps - naFld.ThroughputMbps) / naBase.ThroughputMbps
+	baLoss := (baBase.ThroughputMbps - baFld.ThroughputMbps) / baBase.ThroughputMbps
+	if naLoss <= baLoss {
+		t.Errorf("flooding hurt NA (%.1f%%) no more than BA (%.1f%%)", 100*naLoss, 100*baLoss)
+	}
+}
+
+// TestFig7Cliff reproduces §6.1: throughput rises with aggregation size up
+// to the coherence budget, then collapses to ~0.
+func TestFig7Cliff(t *testing.T) {
+	run := func(agg int) float64 {
+		return RunUDP(UDPConfig{Scheme: mac.BA, Rate: phy.Rate650k, Hops: 1,
+			MaxAggBytes: agg, Seed: 43, Duration: 30 * time.Second}).ThroughputMbps
+	}
+	small, best, beyond := run(2048), run(5120), run(8192)
+	if best <= small {
+		t.Errorf("throughput did not rise with aggregation size: %.3f @2KB vs %.3f @5KB", small, best)
+	}
+	if beyond > best/10 {
+		t.Errorf("no cliff past the coherence budget: %.3f @8KB vs %.3f @5KB", beyond, best)
+	}
+}
+
+func TestAutoAggSizeSurvivesBeyondBudget(t *testing.T) {
+	// The §7 extension: with rate-adaptive sizing the 8 KB cap is trimmed
+	// to the coherence budget and throughput stays near the 5 KB optimum.
+	cfgBase := UDPConfig{Scheme: mac.UA, Rate: phy.Rate650k, Hops: 1, Seed: 47, Duration: 20 * time.Second}
+
+	broken := cfgBase
+	broken.MaxAggBytes = 8192
+	dead := RunUDP(broken).ThroughputMbps
+
+	// AutoAggSize is a mac option; expose through TCPConfig only — here,
+	// drive it via a custom run below using the same knob through RunTCP.
+	r := RunTCP(TCPConfig{Scheme: mac.UA, Rate: phy.Rate650k, Hops: 1, Seed: 47,
+		MaxAggBytes: 8192, AutoAggSize: true, FileBytes: 50_000})
+	if !r.Completed {
+		t.Fatal("AutoAggSize transfer did not complete")
+	}
+	if dead > 0.05 {
+		t.Errorf("8 KB aggregates at 0.65 Mbps should collapse, got %.3f Mbps", dead)
+	}
+}
+
+func TestBlockAckBeyondBudget(t *testing.T) {
+	// With block ACKs, oversized aggregates lose only their aged tail:
+	// the transfer completes even with an 8 KB cap at 0.65 Mbps.
+	r := RunTCP(TCPConfig{Scheme: mac.UA, Rate: phy.Rate650k, Hops: 1, Seed: 53,
+		MaxAggBytes: 8192, BlockAck: true, FileBytes: 50_000, Deadline: 600 * time.Second})
+	if !r.Completed {
+		t.Fatal("block-ACK transfer did not complete despite selective retransmission")
+	}
+}
+
+func TestRelayHelper(t *testing.T) {
+	nodes := []NodeReport{{ID: 0, Role: "server"}, {ID: 1, Role: "relay"}, {ID: 2, Role: "client"}}
+	if Relay(nodes).ID != 1 {
+		t.Error("Relay did not find the relay")
+	}
+	if Relay(nil).Role != "" {
+		t.Error("Relay on empty input should return zero report")
+	}
+}

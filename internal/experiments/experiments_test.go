@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var opts = Options{Seed: 1, Quick: true}
+
+func TestAllRegistryComplete(t *testing.T) {
+	all := All()
+	want := []string{"fig7", "table2", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "table3", "table4", "table5", "table8",
+		"ext-fairness", "ext-delay"}
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.Name != want[i] {
+			t.Errorf("experiment %d = %q, want %q", i, e.Name, want[i])
+		}
+		if e.Run == nil {
+			t.Errorf("experiment %q has no runner", e.Name)
+		}
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := Table{
+		ID: "Table X", Title: "demo",
+		Columns: []string{"a", "b"},
+		Rows:    []Row{{Label: "row1", Values: []float64{1.5, 2.25}}},
+		Notes:   "a note",
+	}
+	out := tab.Format()
+	for _, want := range []string{"Table X", "demo", "a", "b", "row1", "1.500", "2.250", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	tab := Figure11(opts)
+	if len(tab.Rows) != 3 || len(tab.Rows[0].Values) != 4 {
+		t.Fatalf("Figure 11 shape: %d rows × %d cols", len(tab.Rows), len(tab.Rows[0].Values))
+	}
+	na, ua, ba := tab.Rows[0], tab.Rows[1], tab.Rows[2]
+	for i := range na.Values {
+		if !(na.Values[i] < ua.Values[i]) {
+			t.Errorf("col %d: NA %.3f !< UA %.3f", i, na.Values[i], ua.Values[i])
+		}
+		if ba.Values[i] < ua.Values[i]*0.97 {
+			t.Errorf("col %d: BA %.3f clearly below UA %.3f", i, ba.Values[i], ua.Values[i])
+		}
+	}
+	// Monotone in rate for every scheme.
+	for _, r := range tab.Rows {
+		for i := 1; i < len(r.Values); i++ {
+			if r.Values[i] <= r.Values[i-1] {
+				t.Errorf("%s not monotone in rate: %v", r.Label, r.Values)
+			}
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tab := Table2(opts)
+	for _, r := range tab.Rows {
+		if r.Values[1] <= r.Values[0] {
+			t.Errorf("%s: UA %.3f not above NA %.3f", r.Label, r.Values[1], r.Values[0])
+		}
+		if r.Values[2] <= 0 || r.Values[2] > 40 {
+			t.Errorf("%s: improvement %.1f%% implausible", r.Label, r.Values[2])
+		}
+	}
+	// The paper's improvement grows with rate.
+	if tab.Rows[1].Values[2] <= tab.Rows[0].Values[2] {
+		t.Errorf("UDP aggregation gain did not grow with rate: %.1f%% then %.1f%%",
+			tab.Rows[0].Values[2], tab.Rows[1].Values[2])
+	}
+}
+
+func TestFigure7Cliff(t *testing.T) {
+	tab := Figure7(opts)
+	// Every rate: some rise, then zero at the largest cap below 18K only
+	// for rates whose budget is exceeded (all three by 18K... 1.95 budget
+	// is ~15K, so the last column must be ~0 for all rows).
+	for _, r := range tab.Rows {
+		last := r.Values[len(r.Values)-1]
+		if last > 0.05 {
+			t.Errorf("%s: no cliff at 18K cap (%.3f Mbps)", r.Label, last)
+		}
+		peak := 0.0
+		for _, v := range r.Values {
+			if v > peak {
+				peak = v
+			}
+		}
+		if peak < r.Values[0]*1.02 {
+			t.Errorf("%s: no rise before the cliff (first %.3f, peak %.3f)",
+				r.Label, r.Values[0], peak)
+		}
+	}
+	// Faster rates peak at larger caps (5K / 11K / 15K in the paper).
+	peakIdx := func(vals []float64) int {
+		idx := 0
+		for i, v := range vals {
+			if v > vals[idx] {
+				idx = i
+			}
+			_ = v
+		}
+		return idx
+	}
+	if !(peakIdx(tab.Rows[0].Values) <= peakIdx(tab.Rows[1].Values) &&
+		peakIdx(tab.Rows[1].Values) <= peakIdx(tab.Rows[2].Values)) {
+		t.Error("peak aggregation size does not grow with rate")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tab := Table4(opts)
+	na := tab.Rows[0]
+	// NA overhead grows with rate and sits near the paper's anchors.
+	for i := 1; i < len(na.Values); i++ {
+		if na.Values[i] <= na.Values[i-1] {
+			t.Errorf("NA time overhead not increasing: %v", na.Values)
+		}
+	}
+	if na.Values[0] < 12 || na.Values[0] > 35 {
+		t.Errorf("NA overhead at 0.65 = %.1f%%, paper 22.4%%", na.Values[0])
+	}
+	if na.Values[3] < 38 || na.Values[3] > 62 {
+		t.Errorf("NA overhead at 2.6 = %.1f%%, paper 52.1%%", na.Values[3])
+	}
+	// Aggregating schemes always below NA.
+	for _, r := range tab.Rows[1:] {
+		for i := range r.Values {
+			if r.Values[i] >= na.Values[i] {
+				t.Errorf("%s overhead %.1f%% not below NA %.1f%%", r.Label, r.Values[i], na.Values[i])
+			}
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tab := Table3(opts)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Table 3 rows = %d", len(tab.Rows))
+	}
+	na, ua, ba, dba := tab.Rows[0], tab.Rows[1], tab.Rows[2], tab.Rows[3]
+	if na.Values[1] != 100 {
+		t.Errorf("NA TX%% = %.1f, must be 100", na.Values[1])
+	}
+	if !(ua.Values[0] > na.Values[0] && ba.Values[0] >= ua.Values[0]*0.9) {
+		t.Errorf("frame sizes not increasing: %v %v %v", na.Values[0], ua.Values[0], ba.Values[0])
+	}
+	if !(ua.Values[1] < 50 && ba.Values[1] <= ua.Values[1] && dba.Values[1] <= ba.Values[1]*1.05) {
+		t.Errorf("TX%% not decreasing: %v %v %v", ua.Values[1], ba.Values[1], dba.Values[1])
+	}
+	if !(na.Values[2] > ua.Values[2] && ua.Values[2] >= ba.Values[2]*0.95) {
+		t.Errorf("size overhead not decreasing: %v %v %v", na.Values[2], ua.Values[2], ba.Values[2])
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := Figure11(Options{Seed: 5})
+	b := Figure11(Options{Seed: 5})
+	for i := range a.Rows {
+		for j := range a.Rows[i].Values {
+			if a.Rows[i].Values[j] != b.Rows[i].Values[j] {
+				t.Fatalf("Figure 11 not deterministic at row %d col %d", i, j)
+			}
+		}
+	}
+}
+
+func TestExtensionFairness(t *testing.T) {
+	tab := ExtensionFairness(opts)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		j := r.Values[2]
+		if j < 0.5 || j > 1.0001 {
+			t.Errorf("%s Jain index %.3f out of range", r.Label, j)
+		}
+		if r.Values[3] <= 0 {
+			t.Errorf("%s aggregate goodput %.3f", r.Label, r.Values[3])
+		}
+	}
+}
+
+func TestExtensionDelay(t *testing.T) {
+	tab := ExtensionDelay(opts)
+	for _, r := range tab.Rows {
+		mean, p50, p95 := r.Values[0], r.Values[1], r.Values[2]
+		if mean <= 0 || p50 <= 0 || p95 < p50 {
+			t.Errorf("%s delay stats broken: %v", r.Label, r.Values)
+		}
+	}
+	// DBA's floor-holding must cost delay relative to BA.
+	ba, dba := tab.Rows[2], tab.Rows[3]
+	if dba.Values[0] <= ba.Values[0] {
+		t.Errorf("DBA mean delay %.2fms not above BA %.2fms", dba.Values[0], ba.Values[0])
+	}
+}
+
+// TestEveryExperimentRegenerates runs the full registry in quick mode:
+// every table must produce finite, labelled rows without panicking. This
+// is the same surface cmd/aggbench exposes.
+func TestEveryExperimentRegenerates(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			tab := e.Run(opts)
+			if tab.ID == "" || tab.Title == "" {
+				t.Fatalf("%s: missing ID/title", e.Name)
+			}
+			if len(tab.Rows) == 0 || len(tab.Columns) == 0 {
+				t.Fatalf("%s: empty table", e.Name)
+			}
+			for _, r := range tab.Rows {
+				if r.Label == "" {
+					t.Errorf("%s: unlabelled row", e.Name)
+				}
+				if len(r.Values) != len(tab.Columns) {
+					t.Errorf("%s row %q: %d values for %d columns",
+						e.Name, r.Label, len(r.Values), len(tab.Columns))
+				}
+				for i, v := range r.Values {
+					if v != v || v < 0 { // NaN or negative
+						t.Errorf("%s row %q col %d: bad value %v", e.Name, r.Label, i, v)
+					}
+				}
+			}
+			if tab.Format() == "" {
+				t.Errorf("%s: empty formatting", e.Name)
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+// Package flood generates broadcast control traffic: each node emits a
+// fixed-size broadcast frame at a fixed interval, standing in for the
+// route discovery/maintenance flooding of DSR or AODV (§6.3: "To simulate
+// flooding, each node generated broadcast frames at a fixed rate").
+package flood
+
+import (
+	"time"
+
+	"aggmac/internal/frame"
+	"aggmac/internal/network"
+	"aggmac/internal/sim"
+)
+
+// PaperFrameBytes is the broadcast MAC frame size used in the experiments
+// (the PHY minimum, same as a classified TCP ACK).
+const PaperFrameBytes = network.MinSubframeBytes
+
+// Generator emits broadcast frames from one node.
+type Generator struct {
+	// Interval between frames (the Figure 9 x-axis).
+	Interval time.Duration
+	// Jitter randomizes each gap by ±Jitter/2 so generators on different
+	// nodes do not phase-lock. Defaults to Interval/10.
+	Jitter time.Duration
+	// FrameBytes is the MAC frame size; defaults to PaperFrameBytes.
+	FrameBytes int
+
+	Sent    int
+	Dropped int
+
+	sched   *sim.Scheduler
+	node    *network.Node
+	running bool
+	timer   *sim.Timer
+}
+
+// NewGenerator creates a flooding source on node.
+func NewGenerator(sched *sim.Scheduler, node *network.Node, interval time.Duration) *Generator {
+	return &Generator{Interval: interval, sched: sched, node: node}
+}
+
+// Start begins flooding.
+func (g *Generator) Start() {
+	if g.running || g.Interval <= 0 {
+		return
+	}
+	g.running = true
+	if g.FrameBytes <= 0 {
+		g.FrameBytes = PaperFrameBytes
+	}
+	if g.Jitter <= 0 {
+		g.Jitter = g.Interval / 10
+	}
+	g.schedule()
+}
+
+// Stop halts flooding.
+func (g *Generator) Stop() {
+	g.running = false
+	if g.timer != nil {
+		g.timer.Stop()
+	}
+}
+
+func (g *Generator) payloadBytes() int {
+	n := g.FrameBytes - frame.SubframeOverhead - network.HeaderLen
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+func (g *Generator) schedule() {
+	if !g.running {
+		return
+	}
+	gap := g.Interval
+	if g.Jitter > 0 {
+		gap += time.Duration(g.sched.Rand().Int63n(int64(g.Jitter))) - g.Jitter/2
+	}
+	if gap <= 0 {
+		gap = time.Microsecond
+	}
+	g.timer = g.sched.After(gap, "flood:emit", func() {
+		err := g.node.Send(network.Packet{
+			Proto:   network.ProtoFlood,
+			Src:     g.node.ID(),
+			Dst:     network.BroadcastID,
+			Payload: make([]byte, g.payloadBytes()),
+		})
+		if err != nil {
+			g.Dropped++
+		} else {
+			g.Sent++
+		}
+		g.schedule()
+	})
+}
+
+// Counter tallies flooding frames received at a node.
+type Counter struct{ Received int }
+
+// NewCounter registers a flood receiver on node.
+func NewCounter(node *network.Node) *Counter {
+	c := &Counter{}
+	node.Handle(network.ProtoFlood, func(network.Packet) { c.Received++ })
+	return c
+}

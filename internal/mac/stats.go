@@ -1,0 +1,78 @@
+package mac
+
+import "time"
+
+// Counters accumulate everything the paper's detailed analysis
+// (Tables 3–8) reports, per node.
+type Counters struct {
+	// Transmit side.
+	DataTx         int   // aggregate (floor-acquired data) transmissions
+	BroadcastOnly  int   // of which carried no unicast portion
+	SubframesTx    int   // subframes across all data transmissions
+	BroadcastSubTx int   // subframes sent in broadcast portions
+	UnicastSubTx   int   // subframes sent in unicast portions
+	BodyBytesTx    int64 // aggregate body bytes (both portions)
+	PayloadBytesTx int64 // payload bytes inside those subframes
+	HeaderBytesTx  int64 // subframe header+FCS+pad bytes
+	Retries        int   // retransmission attempts
+	Drops          int   // unicast bundles dropped at retry limit
+	QueueDrops     int   // frames rejected by full queues
+	RTSTx, CTSTx   int
+	AckTx          int // link-level ACKs sent (receiver role)
+
+	// Receive side.
+	RxDelivered   int // subframes handed to the upper layer
+	RxDropsCRC    int // subframes lost to FCS failure or lost delineation
+	RxDropsAddr   int // overheard subframes dropped by address filtering
+	RxBundleFails int // whole unicast portions discarded (all-or-nothing)
+	RxDupes       int // retransmitted duplicates suppressed (DedupWindow)
+
+	// Airtime accounting for Table 4. Categories sum to the node's share
+	// of channel occupancy attributable to its own exchanges.
+	PayloadTime  time.Duration // payload bytes on the air
+	HeaderTime   time.Duration // subframe header/FCS/pad bytes on the air
+	PreambleTime time.Duration // PHY preamble/PLCP + broadcast descriptor
+	ControlTime  time.Duration // RTS/CTS/ACK airtime (incl. their preambles)
+	IFSTime      time.Duration // SIFS + DIFS spent in own exchanges
+	BackoffTime  time.Duration // backoff slots consumed before own TXs
+}
+
+// AvgFrameBytes is the mean aggregate body size per data transmission
+// (Table 3 "Frame Size").
+func (c *Counters) AvgFrameBytes() float64 {
+	if c.DataTx == 0 {
+		return 0
+	}
+	return float64(c.BodyBytesTx) / float64(c.DataTx)
+}
+
+// SizeOverhead is the fraction of transmitted bytes spent on MAC subframe
+// headers plus the PHY preamble expressed in byte-equivalents
+// (Table 3 "Size overhead").
+func (c *Counters) SizeOverhead(preambleBytesPerTx float64) float64 {
+	over := float64(c.HeaderBytesTx) + preambleBytesPerTx*float64(c.DataTx)
+	total := float64(c.BodyBytesTx) + preambleBytesPerTx*float64(c.DataTx)
+	if total == 0 {
+		return 0
+	}
+	return over / total
+}
+
+// TimeOverhead is the fraction of exchange airtime not spent on payload
+// bits (Table 4).
+func (c *Counters) TimeOverhead() float64 {
+	over := c.HeaderTime + c.PreambleTime + c.ControlTime + c.IFSTime + c.BackoffTime
+	total := over + c.PayloadTime
+	if total == 0 {
+		return 0
+	}
+	return float64(over) / float64(total)
+}
+
+// AvgSubframes is the mean subframe count per data transmission.
+func (c *Counters) AvgSubframes() float64 {
+	if c.DataTx == 0 {
+		return 0
+	}
+	return float64(c.SubframesTx) / float64(c.DataTx)
+}

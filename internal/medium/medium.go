@@ -1,0 +1,432 @@
+// Package medium models the shared wireless channel: propagation of control
+// frames and aggregates to every node in range, carrier-sense (energy
+// detect) signaling, half-duplex constraints, collision destruction, and
+// per-subframe corruption driven by the PHY error model.
+//
+// The paper's testbed places all nodes within radio range of each other
+// (multi-hop topologies are forced by static routing), so the default
+// connectivity is a single collision domain; links can be cut or given
+// per-link SNR for extension experiments.
+package medium
+
+import (
+	"fmt"
+	"time"
+
+	"aggmac/internal/frame"
+	"aggmac/internal/phy"
+	"aggmac/internal/sim"
+)
+
+// NodeID identifies an attached radio. IDs must be small non-negative
+// integers (they index internal tables).
+type NodeID int
+
+// Radio is the interface the MAC exposes to the channel.
+type Radio interface {
+	// CarrierBusy and CarrierIdle report energy-detect transitions. They
+	// are never called for the node's own transmissions.
+	CarrierBusy()
+	CarrierIdle()
+	// RxControl delivers a control frame that survived the channel, with
+	// the received SNR (Hydra's PHY reports it; rate adaptation feeds on
+	// the RTS/CTS measurements).
+	RxControl(src NodeID, c frame.Control, snrdB float64)
+	// RxAggregate delivers an aggregate's PHY header and (possibly
+	// corrupted) body bytes at the end of its airtime.
+	RxAggregate(src NodeID, hdr frame.PHYHeader, body []byte)
+}
+
+// link holds per-directed-link channel state.
+type link struct {
+	connected bool
+	snrdB     float64
+}
+
+type transmission struct {
+	src        NodeID
+	start, end sim.Time
+	isControl  bool
+	control    frame.Control
+	hdr        frame.PHYHeader
+	body       []byte
+	spans      []frame.Span
+	collided   []bool    // per attached node, set when overlap observed
+	interfSNR  []float64 // strongest interferer per node, for capture
+}
+
+// Event is one observable channel event, for tracing.
+type Event struct {
+	At   time.Duration
+	Kind string // "tx-ctrl", "tx-agg", "rx-ctrl", "rx-agg", "collision", "ctrl-noise", "half-duplex"
+	Src  NodeID
+	Dst  NodeID // -1 for transmissions (broadcast medium)
+	Dur  time.Duration
+	Info string
+}
+
+// Observer receives channel events as they happen.
+type Observer func(Event)
+
+// Stats counts channel-level events.
+type Stats struct {
+	ControlTx    int
+	AggregateTx  int
+	Collisions   int // receptions destroyed by overlap
+	Captures     int // receptions that survived a collision via capture
+	HalfDuplex   int // receptions missed because the receiver was transmitting
+	CorruptCtrl  int // control frames destroyed by noise
+	AirtimeTotal time.Duration
+}
+
+// newInterf starts every interferer slot far below any real SNR.
+func newInterf(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = -1e9
+	}
+	return s
+}
+
+// Medium is the shared channel.
+type Medium struct {
+	sched  *sim.Scheduler
+	params phy.Params
+
+	radios []Radio
+	busy   []int // energy-detect refcount per node
+	txBusy []int // outstanding own transmissions per node (half duplex)
+	links  [][]link
+
+	active   []*transmission
+	stats    Stats
+	observer Observer
+	// captureDB, when > 0, lets the stronger frame of a collision survive
+	// if its SNR margin over the strongest interferer exceeds this
+	// threshold (physical-layer capture; off by default, matching the
+	// paper's conservative any-overlap-destroys model).
+	captureDB float64
+}
+
+// New creates a medium for up to n nodes, fully connected at params.SNRdB.
+func New(sched *sim.Scheduler, params phy.Params, n int) *Medium {
+	m := &Medium{
+		sched:  sched,
+		params: params,
+		radios: make([]Radio, n),
+		busy:   make([]int, n),
+		txBusy: make([]int, n),
+		links:  make([][]link, n),
+	}
+	for i := range m.links {
+		m.links[i] = make([]link, n)
+		for j := range m.links[i] {
+			if i != j {
+				m.links[i][j] = link{connected: true, snrdB: params.SNRdB}
+			}
+		}
+	}
+	return m
+}
+
+// Params returns the PHY constants the medium applies.
+func (m *Medium) Params() phy.Params { return m.params }
+
+// Stats returns a snapshot of channel counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// SetObserver installs a channel-event observer (nil disables tracing).
+func (m *Medium) SetObserver(o Observer) { m.observer = o }
+
+func (m *Medium) emit(ev Event) {
+	if m.observer != nil {
+		ev.At = time.Duration(m.sched.Now())
+		m.observer(ev)
+	}
+}
+
+// Attach registers the radio for id. It panics on reuse: double-attachment
+// is a wiring bug.
+func (m *Medium) Attach(id NodeID, r Radio) {
+	if m.radios[id] != nil {
+		panic(fmt.Sprintf("medium: node %d attached twice", id))
+	}
+	m.radios[id] = r
+}
+
+// SetConnected cuts or restores the bidirectional link between a and b.
+func (m *Medium) SetConnected(a, b NodeID, connected bool) {
+	m.links[a][b].connected = connected
+	m.links[b][a].connected = connected
+}
+
+// SetConnectedDirected cuts or restores only the from→to direction
+// (asymmetric links; useful for failure injection).
+func (m *Medium) SetConnectedDirected(from, to NodeID, connected bool) {
+	m.links[from][to].connected = connected
+}
+
+// SetCapture enables physical-layer capture: a frame survives a collision
+// when its SNR beats the strongest interferer by at least marginDB.
+// Zero disables (the default).
+func (m *Medium) SetCapture(marginDB float64) { m.captureDB = marginDB }
+
+// SetSNR overrides the SNR of the bidirectional link between a and b.
+func (m *Medium) SetSNR(a, b NodeID, snrdB float64) {
+	m.links[a][b].snrdB = snrdB
+	m.links[b][a].snrdB = snrdB
+}
+
+// Connected reports whether b can hear a.
+func (m *Medium) Connected(a, b NodeID) bool { return a != b && m.links[a][b].connected }
+
+// CarrierBusy reports whether node id currently senses energy from others.
+func (m *Medium) CarrierBusy(id NodeID) bool { return m.busy[id] > 0 }
+
+// Transmitting reports whether node id is itself on the air.
+func (m *Medium) Transmitting(id NodeID) bool { return m.txBusy[id] > 0 }
+
+// ControlAirtime is the on-air time of a control frame: preamble plus its
+// bytes at the control rate.
+func (m *Medium) ControlAirtime(c *frame.Control) time.Duration {
+	return m.params.PreamblePLCP + phy.Airtime(c.WireSize(), m.params.ControlRate)
+}
+
+// AggregateAirtime is the on-air time of an aggregate: preamble, the extra
+// broadcast descriptor when present, then each portion at its own rate.
+func (m *Medium) AggregateAirtime(agg *frame.Aggregate) time.Duration {
+	d := m.params.PreamblePLCP + m.params.BroadcastDescDuration(agg.HasBroadcast())
+	if n := agg.BroadcastBytes(); n > 0 {
+		d += phy.Airtime(n, agg.BroadcastRate)
+	}
+	if n := agg.UnicastBytes(); n > 0 {
+		d += phy.Airtime(n, agg.UnicastRate)
+	}
+	return d
+}
+
+// TransmitControl puts a control frame on the air and returns its airtime.
+func (m *Medium) TransmitControl(src NodeID, c frame.Control) time.Duration {
+	d := m.ControlAirtime(&c)
+	t := &transmission{
+		src: src, start: m.sched.Now(), end: m.sched.Now() + d,
+		isControl: true, control: c,
+		collided:  make([]bool, len(m.radios)),
+		interfSNR: newInterf(len(m.radios)),
+	}
+	m.stats.ControlTx++
+	m.emit(Event{Kind: "tx-ctrl", Src: src, Dst: -1, Dur: d, Info: c.Type.String()})
+	m.launch(t)
+	return d
+}
+
+// TransmitAggregate marshals and puts an aggregate on the air, returning
+// its airtime.
+func (m *Medium) TransmitAggregate(src NodeID, agg *frame.Aggregate) time.Duration {
+	body, spans := agg.Marshal()
+	d := m.AggregateAirtime(agg)
+	t := &transmission{
+		src: src, start: m.sched.Now(), end: m.sched.Now() + d,
+		hdr: agg.Header(), body: body, spans: spans,
+		collided:  make([]bool, len(m.radios)),
+		interfSNR: newInterf(len(m.radios)),
+	}
+	m.stats.AggregateTx++
+	m.emit(Event{Kind: "tx-agg", Src: src, Dst: -1, Dur: d,
+		Info: fmt.Sprintf("%db+%du %dB @%v", len(agg.Broadcast), len(agg.Unicast), agg.Bytes(), agg.UnicastRate)})
+	m.launch(t)
+	return d
+}
+
+func (m *Medium) launch(t *transmission) {
+	d := t.end - t.start
+	m.stats.AirtimeTotal += d
+
+	// Mark collisions both ways against transmissions already on the air,
+	// and deafen in-progress receptions at the new transmitter (half
+	// duplex: transmitting while a frame is arriving loses that frame).
+	for _, other := range m.active {
+		if other.end <= t.start {
+			continue
+		}
+		// The new transmitter deafens itself to in-flight receptions; its
+		// own signal is infinitely strong, so capture can never save them.
+		other.collided[t.src] = true
+		other.interfSNR[t.src] = 1e9
+		for id := range m.radios {
+			nid := NodeID(id)
+			bothAudible := m.Connected(t.src, nid) && m.Connected(other.src, nid)
+			if bothAudible {
+				t.collided[id] = true
+				other.collided[id] = true
+				if s := m.links[other.src][nid].snrdB; s > t.interfSNR[id] {
+					t.interfSNR[id] = s
+				}
+				if s := m.links[t.src][nid].snrdB; s > other.interfSNR[id] {
+					other.interfSNR[id] = s
+				}
+			}
+		}
+	}
+	m.active = append(m.active, t)
+	m.txBusy[t.src]++
+
+	// Energy detect at every node in range.
+	for id := range m.radios {
+		nid := NodeID(id)
+		if m.radios[id] == nil || !m.Connected(t.src, nid) {
+			continue
+		}
+		m.busy[id]++
+		if m.busy[id] == 1 {
+			m.radios[id].CarrierBusy()
+		}
+	}
+
+	m.sched.After(d, "medium:txEnd", func() { m.finish(t) })
+}
+
+func (m *Medium) finish(t *transmission) {
+	m.txBusy[t.src]--
+	// Remove from active list.
+	for i, a := range m.active {
+		if a == t {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+
+	// Deliver to every connected receiver, then release carrier. Delivery
+	// happens before idle notifications so MACs see the frame before they
+	// resume backoff.
+	for id := range m.radios {
+		nid := NodeID(id)
+		if m.radios[id] == nil || !m.Connected(t.src, nid) {
+			continue
+		}
+		m.deliver(t, nid)
+	}
+	for id := range m.radios {
+		nid := NodeID(id)
+		if m.radios[id] == nil || !m.Connected(t.src, nid) {
+			continue
+		}
+		m.busy[id]--
+		if m.busy[id] == 0 {
+			m.radios[id].CarrierIdle()
+		}
+	}
+}
+
+func (m *Medium) deliver(t *transmission, dst NodeID) {
+	if m.txBusy[dst] > 0 {
+		// Half duplex: a node on the air cannot decode. (Sufficient
+		// because every transmission that overlapped ours in any way is
+		// still counted busy at our end time only if it is still active;
+		// any earlier overlap marked us collided at shared receivers, and
+		// our own TX overlapping the tail of this reception is exactly
+		// this case.)
+		m.stats.HalfDuplex++
+		m.emit(Event{Kind: "half-duplex", Src: t.src, Dst: dst})
+		return
+	}
+	if t.collided[dst] {
+		captured := m.captureDB > 0 &&
+			m.links[t.src][dst].snrdB-t.interfSNR[dst] >= m.captureDB
+		if !captured {
+			m.stats.Collisions++
+			m.emit(Event{Kind: "collision", Src: t.src, Dst: dst})
+			return
+		}
+		m.stats.Captures++
+	}
+	snr := m.links[t.src][dst].snrdB
+	shift := snr - m.params.SNRdB // per-link adjustment
+
+	if t.isControl {
+		// Control frames end within the coherence budget; apply the flat
+		// error probability for their size.
+		end := m.params.Samples(m.params.PreamblePLCP + phy.Airtime(t.control.WireSize(), m.params.ControlRate))
+		p := m.shiftedChunkErr(t.control.WireSize(), m.params.ControlRate, end, shift)
+		if m.sched.Rand().Float64() < p {
+			m.stats.CorruptCtrl++
+			m.emit(Event{Kind: "ctrl-noise", Src: t.src, Dst: dst})
+			return
+		}
+		m.emit(Event{Kind: "rx-ctrl", Src: t.src, Dst: dst, Info: t.control.Type.String()})
+		m.radios[dst].RxControl(t.src, t.control, snr)
+		return
+	}
+
+	// Preamble/PLCP failure loses the whole frame.
+	preEnd := m.params.Samples(m.params.PreamblePLCP)
+	if p := m.shiftedChunkErr(frame.PHYHeaderLen, m.params.ControlRate, preEnd, shift); m.sched.Rand().Float64() < p {
+		return
+	}
+
+	// Corrupt individual subframes according to their airtime offsets.
+	// The leading portion's airtime offsets the trailing portion's clock;
+	// which portion leads depends on the header's Trailing flag.
+	body := t.body
+	copied := false
+	prefix := m.params.PreamblePLCP + m.params.BroadcastDescDuration(t.hdr.BroadcastLen > 0)
+	leadLen, leadRate := t.hdr.BroadcastLen, t.hdr.BroadcastRate
+	if t.hdr.Trailing {
+		leadLen, leadRate = t.hdr.UnicastLen, t.hdr.UnicastRate
+	}
+	leadEnd := prefix + phy.Airtime(leadLen, leadRate)
+	for _, sp := range t.spans {
+		rate := t.hdr.UnicastRate
+		if sp.Broadcast {
+			rate = t.hdr.BroadcastRate
+		}
+		var endT time.Duration
+		if sp.Off < leadLen {
+			endT = prefix + phy.Airtime(sp.Off+sp.Size, rate)
+		} else {
+			endT = leadEnd + phy.Airtime(sp.Off+sp.Size-leadLen, rate)
+		}
+		p := m.shiftedChunkErr(sp.Size, rate, m.params.Samples(endT), shift)
+		if m.sched.Rand().Float64() >= p {
+			continue
+		}
+		if !copied {
+			body = append([]byte(nil), t.body...)
+			copied = true
+		}
+		corruptSpan(body[sp.Off:sp.Off+sp.Size], m.sched)
+	}
+	if !copied {
+		// Receivers may retain payload slices; give each its own copy.
+		body = append([]byte(nil), t.body...)
+	}
+	if m.observer != nil {
+		info := "clean"
+		if copied {
+			info = "corrupted"
+		}
+		m.emit(Event{Kind: "rx-agg", Src: t.src, Dst: dst, Info: info})
+	}
+	m.radios[dst].RxAggregate(t.src, t.hdr, body)
+}
+
+// shiftedChunkErr applies a per-link SNR shift on top of the global params.
+func (m *Medium) shiftedChunkErr(nBytes int, r phy.Rate, endSample int64, snrShift float64) float64 {
+	if snrShift == 0 {
+		return m.params.ChunkErrorProb(nBytes, r, endSample)
+	}
+	p := m.params
+	p.SNRdB += snrShift
+	return p.ChunkErrorProb(nBytes, r, endSample)
+}
+
+// corruptSpan flips a few bits inside the span so the subframe's FCS (or
+// its delineation) fails at decode time, exactly as on real hardware.
+func corruptSpan(b []byte, sched *sim.Scheduler) {
+	rng := sched.Rand()
+	flips := 1 + rng.Intn(3)
+	for i := 0; i < flips; i++ {
+		bit := rng.Intn(len(b) * 8)
+		b[bit/8] ^= 1 << (bit % 8)
+	}
+}

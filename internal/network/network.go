@@ -1,0 +1,314 @@
+// Package network provides the network layer of a simulated Hydra node:
+// an IP-like packet format carried inside the Hydra/Click encapsulation,
+// static routing (the paper forces multi-hop topologies with static routes
+// because all nodes are in radio range), hop-by-hop forwarding, and the
+// cross-layer classifier hook that sorts pure TCP ACKs into the MAC's
+// broadcast queue.
+package network
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"aggmac/internal/frame"
+	"aggmac/internal/mac"
+)
+
+// NodeID identifies a node at the network layer; it equals the node's
+// medium.NodeID.
+type NodeID int
+
+// BroadcastID addresses a packet to every node in range.
+const BroadcastID NodeID = -1
+
+// IP protocol numbers used by the simulated stack.
+const (
+	ProtoTCP   = 6
+	ProtoUDP   = 17
+	ProtoFlood = 253 // flooding/control traffic (route-discovery stand-in)
+)
+
+// Wire layout: [encap 39 B][IP-like header 20 B][transport payload][pad].
+const (
+	// EncapLen reproduces Hydra's Click encapsulation/annotation overhead;
+	// with it, an MSS-1357 TCP segment becomes exactly the paper's 1464 B
+	// MAC frame.
+	EncapLen = 39
+	// IPHeaderLen is the IP-like header.
+	IPHeaderLen = 20
+	// HeaderLen is the total network-layer overhead per packet.
+	HeaderLen = EncapLen + IPHeaderLen
+	// MinSubframeBytes is the PHY's minimum MAC frame size (channel
+	// tracking needs a minimum symbol count); it makes a pure TCP ACK
+	// exactly the paper's 160 B MAC frame.
+	MinSubframeBytes = 160
+
+	encapMagic = 0x4859 // "HY"
+	defaultTTL = 16
+)
+
+// Errors returned by Send and the decoder.
+var (
+	ErrNoRoute   = errors.New("network: no route to destination")
+	ErrQueueFull = errors.New("network: MAC queue full")
+	ErrBadPacket = errors.New("network: malformed packet")
+)
+
+// Packet is one network-layer datagram.
+type Packet struct {
+	Proto   uint8
+	TTL     uint8
+	Src     NodeID
+	Dst     NodeID
+	ID      uint16
+	Payload []byte
+}
+
+func nodeIP(id NodeID) uint32 {
+	if id == BroadcastID {
+		return 0x0affffff // 10.255.255.255
+	}
+	return 0x0a000000 | uint32(uint16(id))
+}
+
+func ipNode(ip uint32) NodeID {
+	if ip == 0x0affffff {
+		return BroadcastID
+	}
+	return NodeID(ip & 0xffff)
+}
+
+// ipChecksum is the ones-complement sum over the header with the checksum
+// field zeroed.
+func ipChecksum(h []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(h); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(h[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Marshal produces the subframe payload: encap, IP header, transport
+// payload, and trailing pad up to the PHY minimum frame size.
+func (p *Packet) Marshal() []byte {
+	wire := frame.SubframeOverhead + HeaderLen + len(p.Payload)
+	pad := 0
+	if wire < MinSubframeBytes {
+		pad = MinSubframeBytes - wire
+	}
+	b := make([]byte, HeaderLen, HeaderLen+len(p.Payload)+pad)
+
+	// Encap: magic(2) flags(1) padLen(2) reserved(34).
+	binary.BigEndian.PutUint16(b[0:2], encapMagic)
+	b[2] = 1 // version
+	binary.BigEndian.PutUint16(b[3:5], uint16(pad))
+
+	// IP-like header.
+	ip := b[EncapLen:]
+	ip[0] = 0x45
+	ip[1] = p.Proto
+	ip[2] = p.TTL
+	ip[3] = 0
+	binary.BigEndian.PutUint16(ip[4:6], uint16(IPHeaderLen+len(p.Payload)))
+	binary.BigEndian.PutUint16(ip[6:8], p.ID)
+	binary.BigEndian.PutUint32(ip[8:12], nodeIP(p.Src))
+	binary.BigEndian.PutUint32(ip[12:16], nodeIP(p.Dst))
+	binary.BigEndian.PutUint16(ip[16:18], 0) // checksum slot
+	binary.BigEndian.PutUint16(ip[18:20], 0)
+	binary.BigEndian.PutUint16(ip[16:18], ipChecksum(ip[:IPHeaderLen]))
+
+	b = append(b, p.Payload...)
+	b = append(b, make([]byte, pad)...)
+	return b
+}
+
+// Decode parses a subframe payload back into a Packet.
+func Decode(b []byte) (Packet, error) {
+	var p Packet
+	if len(b) < HeaderLen {
+		return p, fmt.Errorf("%w: %d bytes", ErrBadPacket, len(b))
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != encapMagic {
+		return p, fmt.Errorf("%w: bad encap magic", ErrBadPacket)
+	}
+	pad := int(binary.BigEndian.Uint16(b[3:5]))
+	ip := b[EncapLen:]
+	if ip[0] != 0x45 {
+		return p, fmt.Errorf("%w: bad IP version", ErrBadPacket)
+	}
+	if ipChecksum(ip[:IPHeaderLen]) != 0 {
+		// Checksum over a header including its own checksum folds to zero.
+		return p, fmt.Errorf("%w: IP checksum", ErrBadPacket)
+	}
+	totLen := int(binary.BigEndian.Uint16(ip[4:6]))
+	if totLen < IPHeaderLen || EncapLen+totLen+pad != len(b) {
+		return p, fmt.Errorf("%w: length %d + pad %d vs %d", ErrBadPacket, totLen, pad, len(b))
+	}
+	p.Proto = ip[1]
+	p.TTL = ip[2]
+	p.ID = binary.BigEndian.Uint16(ip[6:8])
+	p.Src = ipNode(binary.BigEndian.Uint32(ip[8:12]))
+	p.Dst = ipNode(binary.BigEndian.Uint32(ip[12:16]))
+	p.Payload = ip[IPHeaderLen:totLen]
+	return p, nil
+}
+
+// Handler consumes packets addressed to (or broadcast at) this node.
+type Handler func(pkt Packet)
+
+// AckClassifier reports whether a transport payload is a pure TCP ACK
+// (no data, not part of connection setup or teardown). The TCP package
+// provides the implementation; injecting it here keeps the deliberate
+// layering violation in one visible place.
+type AckClassifier func(transport []byte) bool
+
+// Stats counts network-layer events per node.
+type Stats struct {
+	Sent        int
+	Forwarded   int
+	Delivered   int
+	AcksBcast   int // pure TCP ACKs routed through the broadcast queue
+	ParseErrors int
+	TTLDrops    int
+	NoRoute     int
+	QueueFull   int
+}
+
+// Node is the network layer of one simulated node.
+type Node struct {
+	id       NodeID
+	mac      *mac.MAC
+	routes   map[NodeID]NodeID // destination -> next hop
+	handlers map[uint8]Handler
+	classify AckClassifier
+	nextID   uint16
+	stats    Stats
+
+	// OnNoRoute, when set, fires whenever Send finds no route for dst —
+	// the hook an on-demand routing protocol uses to start discovery.
+	OnNoRoute func(dst NodeID)
+}
+
+// NewNode creates the network layer for a node. Construct the MAC with the
+// node's Bind() callback, then call AttachMAC:
+//
+//	node := network.NewNode(id)
+//	m := mac.New(sched, med, id, opts, node.Bind())
+//	node.AttachMAC(m)
+func NewNode(id NodeID) *Node {
+	return &Node{
+		id:       id,
+		routes:   make(map[NodeID]NodeID),
+		handlers: make(map[uint8]Handler),
+	}
+}
+
+// Bind returns the mac.DeliverFunc that feeds this node.
+func (n *Node) Bind() mac.DeliverFunc {
+	return func(d frame.DecodedSubframe, viaBroadcast bool) { n.fromMAC(d, viaBroadcast) }
+}
+
+// AttachMAC wires the node's transmit path. It panics if called twice or
+// skipped before Send: both are wiring bugs.
+func (n *Node) AttachMAC(m *mac.MAC) {
+	if n.mac != nil {
+		panic("network: MAC attached twice")
+	}
+	n.mac = m
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// MAC returns the underlying MAC entity.
+func (n *Node) MAC() *mac.MAC { return n.mac }
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// AddRoute installs a route: packets for dst leave via next.
+func (n *Node) AddRoute(dst, next NodeID) { n.routes[dst] = next }
+
+// DelRoute removes the route for dst (route expiry).
+func (n *Node) DelRoute(dst NodeID) { delete(n.routes, dst) }
+
+// Route reports the installed next hop for dst.
+func (n *Node) Route(dst NodeID) (NodeID, bool) {
+	next, ok := n.routes[dst]
+	return next, ok
+}
+
+// Handle registers the upper-layer handler for an IP protocol number.
+func (n *Node) Handle(proto uint8, h Handler) { n.handlers[proto] = h }
+
+// SetAckClassifier installs the pure-TCP-ACK classifier.
+func (n *Node) SetAckClassifier(c AckClassifier) { n.classify = c }
+
+// Send originates or forwards a packet. Broadcast packets go out the
+// broadcast queue unacknowledged; unicast packets are routed, and pure TCP
+// ACKs ride the broadcast queue when the MAC's scheme classifies them.
+func (n *Node) Send(pkt Packet) error {
+	if pkt.TTL == 0 {
+		pkt.TTL = defaultTTL
+	}
+	if pkt.ID == 0 {
+		n.nextID++
+		pkt.ID = n.nextID
+	}
+	out := mac.Outgoing{Src: frame.NodeAddr(int(pkt.Src)), Payload: pkt.Marshal()}
+	viaBroadcastQueue := false
+	if pkt.Dst == BroadcastID {
+		out.Dst = frame.Broadcast
+		viaBroadcastQueue = true
+	} else {
+		next, ok := n.routes[pkt.Dst]
+		if !ok {
+			n.stats.NoRoute++
+			if n.OnNoRoute != nil {
+				n.OnNoRoute(pkt.Dst)
+			}
+			return fmt.Errorf("%w: %d", ErrNoRoute, pkt.Dst)
+		}
+		out.Dst = frame.NodeAddr(int(next))
+		if pkt.Proto == ProtoTCP && n.classify != nil &&
+			n.mac.Opts().Scheme.ClassifyTCPAcks && n.classify(pkt.Payload) {
+			viaBroadcastQueue = true
+			n.stats.AcksBcast++
+		}
+	}
+	if !n.mac.Enqueue(out, viaBroadcastQueue) {
+		n.stats.QueueFull++
+		return ErrQueueFull
+	}
+	n.stats.Sent++
+	return nil
+}
+
+// fromMAC handles subframes the MAC delivered: parse, then consume or
+// forward.
+func (n *Node) fromMAC(d frame.DecodedSubframe, viaBroadcast bool) {
+	pkt, err := Decode(d.Payload)
+	if err != nil {
+		n.stats.ParseErrors++
+		return
+	}
+	if pkt.Dst == BroadcastID || pkt.Dst == n.id {
+		n.stats.Delivered++
+		if h := n.handlers[pkt.Proto]; h != nil {
+			h(pkt)
+		}
+		return
+	}
+	// Relay role: forward along the static route.
+	if pkt.TTL <= 1 {
+		n.stats.TTLDrops++
+		return
+	}
+	pkt.TTL--
+	n.stats.Forwarded++
+	_ = n.Send(pkt) // route misses / queue overflow are counted in stats
+}

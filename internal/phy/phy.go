@@ -1,0 +1,278 @@
+// Package phy models the Hydra physical layer: the OFDM rate table
+// (modulation × convolutional code rate), airtime and sample arithmetic,
+// preamble/PLCP timing, and an SNR-driven bit-error model with
+// channel-estimate aging.
+//
+// Hydra (Kim et al., CoNEXT 2008) runs an 802.11n-style PHY scaled to a
+// 1 MHz channel, so its eight SISO rates are one tenth of the 802.11n
+// 20 MHz rates: 0.65–6.5 Mbps. The USRP front-end samples complex baseband
+// at 2 Msps, which makes the paper's "about 120 Ksamples" coherence budget
+// ≈ 60 ms of airtime — matching its per-rate aggregation-size thresholds
+// (5 KB at 0.65 Mbps, 11 KB at 1.3 Mbps, 15 KB at 1.95 Mbps).
+package phy
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Modulation is the constellation used by a rate.
+type Modulation int
+
+const (
+	BPSK Modulation = iota
+	QPSK
+	QAM16
+	QAM64
+)
+
+func (m Modulation) String() string {
+	switch m {
+	case BPSK:
+		return "BPSK"
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16-QAM"
+	case QAM64:
+		return "64-QAM"
+	}
+	return fmt.Sprintf("Modulation(%d)", int(m))
+}
+
+// Rate identifies one of Hydra's SISO PHY data rates.
+type Rate int
+
+// The eight Hydra SISO rates (Table 1 of the paper).
+const (
+	Rate650k  Rate = iota // BPSK 1/2, 0.65 Mbps
+	Rate1300k             // QPSK 1/2, 1.30 Mbps
+	Rate1950k             // QPSK 3/4, 1.95 Mbps
+	Rate2600k             // 16-QAM 1/2, 2.60 Mbps
+	Rate3900k             // 16-QAM 3/4, 3.90 Mbps
+	Rate5200k             // 64-QAM 2/3, 5.20 Mbps
+	Rate5850k             // 64-QAM 3/4, 5.85 Mbps
+	Rate6500k             // 64-QAM 5/6, 6.50 Mbps
+	numRates
+)
+
+type rateInfo struct {
+	bps     int64 // bits per second
+	mod     Modulation
+	codeNum int
+	codeDen int
+	name    string
+}
+
+var rateTable = [numRates]rateInfo{
+	Rate650k:  {650_000, BPSK, 1, 2, "0.65Mbps"},
+	Rate1300k: {1_300_000, QPSK, 1, 2, "1.3Mbps"},
+	Rate1950k: {1_950_000, QPSK, 3, 4, "1.95Mbps"},
+	Rate2600k: {2_600_000, QAM16, 1, 2, "2.6Mbps"},
+	Rate3900k: {3_900_000, QAM16, 3, 4, "3.9Mbps"},
+	Rate5200k: {5_200_000, QAM64, 2, 3, "5.2Mbps"},
+	Rate5850k: {5_850_000, QAM64, 3, 4, "5.85Mbps"},
+	Rate6500k: {6_500_000, QAM64, 5, 6, "6.5Mbps"},
+}
+
+// Valid reports whether r names a real Hydra rate.
+func (r Rate) Valid() bool { return r >= 0 && r < numRates }
+
+// BitsPerSecond returns the information rate in bits per second.
+func (r Rate) BitsPerSecond() int64 { return rateTable[r].bps }
+
+// Mbps returns the information rate in megabits per second.
+func (r Rate) Mbps() float64 { return float64(rateTable[r].bps) / 1e6 }
+
+// Modulation returns the constellation the rate uses.
+func (r Rate) Modulation() Modulation { return rateTable[r].mod }
+
+// CodeRate returns the convolutional code rate as a fraction.
+func (r Rate) CodeRate() (num, den int) { return rateTable[r].codeNum, rateTable[r].codeDen }
+
+func (r Rate) String() string {
+	if !r.Valid() {
+		return fmt.Sprintf("Rate(%d)", int(r))
+	}
+	return rateTable[r].name
+}
+
+// AllRates returns every Hydra SISO rate, slowest first.
+func AllRates() []Rate {
+	rs := make([]Rate, numRates)
+	for i := range rs {
+		rs[i] = Rate(i)
+	}
+	return rs
+}
+
+// ExperimentRates returns the four rates the paper's experiments use
+// (25 dB SNR did not allow reliable 64-QAM operation).
+func ExperimentRates() []Rate {
+	return []Rate{Rate650k, Rate1300k, Rate1950k, Rate2600k}
+}
+
+// RateFromMbps maps a megabit value such as 1.3 back to its Rate.
+func RateFromMbps(mbps float64) (Rate, error) {
+	for i := Rate(0); i < numRates; i++ {
+		if math.Abs(rateTable[i].Mbps()-mbps) < 1e-9 {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("phy: no Hydra rate is %.3g Mbps", mbps)
+}
+
+func (ri rateInfo) Mbps() float64 { return float64(ri.bps) / 1e6 }
+
+// Params are the tunable PHY constants. The defaults are calibrated so the
+// simulator reproduces the paper's measured no-aggregation time overheads
+// (Table 4) and its Figure 7 aggregation-size thresholds.
+type Params struct {
+	// SampleRate is complex baseband samples per second (USRP USB limit).
+	SampleRate int64
+	// PreamblePLCP is the fixed training + PLCP header time prepended to
+	// every transmission, regardless of rate.
+	PreamblePLCP time.Duration
+	// BroadcastDescBytes is the extra PHY-header descriptor (rate + length
+	// for the broadcast portion) transmitted at ControlRate when a frame
+	// carries broadcast subframes. This is the PHY cost of the paper's
+	// broadcast-aggregation format (Figure 2).
+	BroadcastDescBytes int
+	// ControlRate carries RTS/CTS/ACK and PHY descriptors.
+	ControlRate Rate
+	// SNRdB is the received signal-to-noise ratio on every link
+	// (the paper's node spacing gave 25 dB).
+	SNRdB float64
+	// ImplLossdB is implementation loss (sync, CFO, quantization) of the
+	// software PHY; it is what makes 64-QAM unreliable at 25 dB.
+	ImplLossdB float64
+	// CoherenceSamples is the airtime budget (in samples) after which the
+	// channel estimate from the preamble goes stale.
+	CoherenceSamples int64
+	// AgingDBPerKSample is the effective-SNR penalty applied per 1000
+	// samples past CoherenceSamples.
+	AgingDBPerKSample float64
+}
+
+// DefaultParams returns the calibrated Hydra-like constants.
+func DefaultParams() Params {
+	return Params{
+		SampleRate:         2_000_000,
+		PreamblePLCP:       320 * time.Microsecond,
+		BroadcastDescBytes: 4,
+		ControlRate:        Rate650k,
+		SNRdB:              25,
+		ImplLossdB:         6,
+		CoherenceSamples:   120_000,
+		AgingDBPerKSample:  3,
+	}
+}
+
+// Airtime returns the time needed to transmit n payload bytes at rate r,
+// excluding preamble/PLCP.
+func Airtime(n int, r Rate) time.Duration {
+	bits := int64(n) * 8
+	return time.Duration(bits * int64(time.Second) / r.BitsPerSecond())
+}
+
+// Samples converts an airtime duration to baseband samples.
+func (p Params) Samples(d time.Duration) int64 {
+	return int64(d) * p.SampleRate / int64(time.Second)
+}
+
+// Duration converts a sample count back to airtime.
+func (p Params) Duration(samples int64) time.Duration {
+	return time.Duration(samples * int64(time.Second) / p.SampleRate)
+}
+
+// BroadcastDescDuration is the airtime of the extra broadcast rate/length
+// descriptor, zero if the frame has no broadcast portion.
+func (p Params) BroadcastDescDuration(hasBroadcast bool) time.Duration {
+	if !hasBroadcast {
+		return 0
+	}
+	return Airtime(p.BroadcastDescBytes, p.ControlRate)
+}
+
+// snrLinear converts dB to a linear power ratio.
+func snrLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// codingGainDB approximates soft-decision Viterbi (K=7) coding gain.
+func codingGainDB(num, den int) float64 {
+	switch {
+	case num*4 == den*2: // 1/2
+		return 5.0
+	case num*3 == den*2: // 2/3
+		return 4.3
+	case num*4 == den*3: // 3/4
+		return 3.8
+	case num*6 == den*5: // 5/6
+		return 3.2
+	}
+	return 0
+}
+
+// BitErrorRate returns the post-decoding bit error probability for rate r at
+// the given effective SNR (dB). It uses standard Gray-coded AWGN
+// approximations with the code rate folded in as an SNR gain.
+func BitErrorRate(r Rate, effSNRdB float64) float64 {
+	num, den := r.CodeRate()
+	es := snrLinear(effSNRdB + codingGainDB(num, den))
+	var pb float64
+	switch r.Modulation() {
+	case BPSK:
+		pb = 0.5 * math.Erfc(math.Sqrt(es))
+	case QPSK:
+		pb = 0.5 * math.Erfc(math.Sqrt(es/2))
+	case QAM16:
+		pb = (3.0 / 8.0) * math.Erfc(math.Sqrt(es/10))
+	case QAM64:
+		pb = (7.0 / 24.0) * math.Erfc(math.Sqrt(es/42))
+	}
+	if pb > 0.5 {
+		pb = 0.5
+	}
+	return pb
+}
+
+// agingPenaltyDB is the effective-SNR loss for symbols ending at the given
+// sample offset from the start of the preamble.
+func (p Params) agingPenaltyDB(endSample int64) float64 {
+	if endSample <= p.CoherenceSamples {
+		return 0
+	}
+	return float64(endSample-p.CoherenceSamples) / 1000 * p.AgingDBPerKSample
+}
+
+// EffectiveSNRdB is the SNR seen by a symbol ending at endSample, after
+// implementation loss and channel-estimate aging.
+func (p Params) EffectiveSNRdB(endSample int64) float64 {
+	return p.SNRdB - p.ImplLossdB - p.agingPenaltyDB(endSample)
+}
+
+// ChunkErrorProb returns the probability that a chunk of nBytes transmitted
+// at rate r, ending at endSample samples from the start of the frame's
+// preamble, contains at least one uncorrected bit error.
+func (p Params) ChunkErrorProb(nBytes int, r Rate, endSample int64) float64 {
+	bits := float64(nBytes) * 8
+	ber := BitErrorRate(r, p.EffectiveSNRdB(endSample))
+	if ber <= 0 {
+		return 0
+	}
+	// 1-(1-ber)^bits, computed stably.
+	return -math.Expm1(bits * math.Log1p(-ber))
+}
+
+// MaxBytesWithinCoherence returns how many payload bytes fit at rate r
+// before the frame (preamble included) exceeds the coherence budget. This
+// implements the paper's future-work idea of sizing the aggregate to the
+// rate ("rate-adaptive frame aggregation").
+func (p Params) MaxBytesWithinCoherence(r Rate) int {
+	budget := p.Duration(p.CoherenceSamples) - p.PreamblePLCP
+	if budget <= 0 {
+		return 0
+	}
+	bits := int64(budget) * r.BitsPerSecond() / int64(time.Second)
+	return int(bits / 8)
+}

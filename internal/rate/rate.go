@@ -1,0 +1,179 @@
+// Package rate implements the link rate-adaptation algorithms the Hydra
+// MAC supports (§4.1.2 of the paper): ARF (auto rate fallback, Kamerman &
+// Monteban) and an RBAR-style receiver-based scheme that uses the explicit
+// SNR feedback Hydra carries in its RTS/CTS exchange. The paper's
+// experiments pin the rate, but §7 proposes rate-adaptive aggregation;
+// these controllers plug into mac.Options.RateController to enable it.
+package rate
+
+import (
+	"math"
+
+	"aggmac/internal/frame"
+	"aggmac/internal/phy"
+)
+
+// Controller selects the unicast-portion rate per destination and learns
+// from transmission outcomes and receiver feedback.
+type Controller interface {
+	// TxRate returns the rate to use for the next transmission to dst.
+	TxRate(dst frame.Addr) phy.Rate
+	// OnResult reports one unicast exchange outcome at rate r.
+	OnResult(dst frame.Addr, r phy.Rate, ok bool)
+	// OnFeedback reports a receiver SNR measurement (from the RTS/CTS
+	// exchange; with reciprocal links the CTS reception SNR is
+	// equivalent).
+	OnFeedback(dst frame.Addr, snrdB float64)
+}
+
+// Fixed always uses one rate (the paper's experimental configuration).
+type Fixed phy.Rate
+
+// TxRate implements Controller.
+func (f Fixed) TxRate(frame.Addr) phy.Rate { return phy.Rate(f) }
+
+// OnResult implements Controller.
+func (f Fixed) OnResult(frame.Addr, phy.Rate, bool) {}
+
+// OnFeedback implements Controller.
+func (f Fixed) OnFeedback(frame.Addr, float64) {}
+
+// ARF is classic auto rate fallback: step up after a run of successes,
+// step down after consecutive failures, and retreat immediately if the
+// probe transmission right after an up-shift fails.
+type ARF struct {
+	// UpAfter successes trigger an up-shift (default 10).
+	UpAfter int
+	// DownAfter consecutive failures trigger a down-shift (default 2).
+	DownAfter int
+	// MaxRate bounds the climb (default the top Hydra rate).
+	MaxRate phy.Rate
+
+	start phy.Rate
+	peers map[frame.Addr]*arfState
+}
+
+type arfState struct {
+	rate      phy.Rate
+	successes int
+	failures  int
+	probing   bool // the previous up-shift has not proven itself yet
+}
+
+// NewARF returns an ARF controller starting every peer at start.
+func NewARF(start phy.Rate) *ARF {
+	return &ARF{
+		UpAfter:   10,
+		DownAfter: 2,
+		MaxRate:   phy.Rate6500k,
+		peers:     map[frame.Addr]*arfState{},
+		start:     start,
+	}
+}
+
+// start is stored outside the exported fields so zero-value tweaks to
+// UpAfter/DownAfter don't disturb it.
+func (a *ARF) state(dst frame.Addr) *arfState {
+	s, ok := a.peers[dst]
+	if !ok {
+		s = &arfState{rate: a.start}
+		a.peers[dst] = s
+	}
+	return s
+}
+
+// TxRate implements Controller.
+func (a *ARF) TxRate(dst frame.Addr) phy.Rate { return a.state(dst).rate }
+
+// OnResult implements Controller.
+func (a *ARF) OnResult(dst frame.Addr, r phy.Rate, ok bool) {
+	s := a.state(dst)
+	if r != s.rate {
+		return // stale feedback from before a shift
+	}
+	if ok {
+		s.failures = 0
+		s.successes++
+		s.probing = false
+		if s.successes >= a.UpAfter && s.rate < a.MaxRate {
+			s.rate++
+			s.successes = 0
+			s.probing = true
+		}
+		return
+	}
+	s.successes = 0
+	s.failures++
+	if (s.probing || s.failures >= a.DownAfter) && s.rate > phy.Rate650k {
+		s.rate--
+		s.failures = 0
+		s.probing = false
+	}
+}
+
+// OnFeedback implements Controller (ARF ignores SNR feedback).
+func (a *ARF) OnFeedback(frame.Addr, float64) {}
+
+// RBAR picks the fastest rate whose predicted frame error rate stays under
+// a target, given the receiver's SNR feedback (Holland, Vaidya & Bahl,
+// adapted to Hydra's explicit-feedback RTS/CTS).
+type RBAR struct {
+	// Params supplies the BER model (implementation loss etc.).
+	Params phy.Params
+	// FrameBits is the frame size the FER target is evaluated at
+	// (default: one maximum aggregate, 5120 bytes).
+	FrameBits float64
+	// TargetFER is the acceptable frame error rate (default 0.1).
+	TargetFER float64
+	// Fallback is used before any feedback arrives.
+	Fallback phy.Rate
+
+	snr map[frame.Addr]float64
+}
+
+// NewRBAR returns an RBAR controller with the paper-calibrated PHY model.
+func NewRBAR(params phy.Params, fallback phy.Rate) *RBAR {
+	return &RBAR{
+		Params:    params,
+		FrameBits: 5120 * 8,
+		TargetFER: 0.1,
+		Fallback:  fallback,
+		snr:       map[frame.Addr]float64{},
+	}
+}
+
+// BestRate returns the fastest rate meeting the FER target at the given
+// received SNR.
+func (r *RBAR) BestRate(snrdB float64) phy.Rate {
+	best := phy.Rate650k
+	eff := snrdB - r.Params.ImplLossdB
+	for _, cand := range phy.AllRates() {
+		ber := phy.BitErrorRate(cand, eff)
+		fer := -math.Expm1(r.FrameBits * math.Log1p(-ber))
+		if fer <= r.TargetFER {
+			best = cand
+		}
+	}
+	return best
+}
+
+// TxRate implements Controller.
+func (r *RBAR) TxRate(dst frame.Addr) phy.Rate {
+	snr, ok := r.snr[dst]
+	if !ok {
+		return r.Fallback
+	}
+	return r.BestRate(snr)
+}
+
+// OnResult implements Controller (RBAR is feedback-driven).
+func (r *RBAR) OnResult(frame.Addr, phy.Rate, bool) {}
+
+// OnFeedback implements Controller.
+func (r *RBAR) OnFeedback(dst frame.Addr, snrdB float64) {
+	// Exponentially smoothed to ride out per-frame fading.
+	if old, ok := r.snr[dst]; ok {
+		snrdB = 0.75*old + 0.25*snrdB
+	}
+	r.snr[dst] = snrdB
+}

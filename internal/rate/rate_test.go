@@ -1,0 +1,209 @@
+package rate
+
+import (
+	"testing"
+	"time"
+
+	"aggmac/internal/frame"
+	"aggmac/internal/mac"
+	"aggmac/internal/medium"
+	"aggmac/internal/phy"
+	"aggmac/internal/sim"
+)
+
+var peer = frame.NodeAddr(1)
+
+func TestFixedNeverMoves(t *testing.T) {
+	var c mac.RateController = Fixed(phy.Rate1300k)
+	for i := 0; i < 5; i++ {
+		c.OnResult(peer, phy.Rate1300k, false)
+		c.OnFeedback(peer, 3)
+	}
+	if c.TxRate(peer) != phy.Rate1300k {
+		t.Fatal("Fixed moved")
+	}
+}
+
+func TestARFStepsUpAfterSuccesses(t *testing.T) {
+	a := NewARF(phy.Rate650k)
+	for i := 0; i < a.UpAfter; i++ {
+		if a.TxRate(peer) != phy.Rate650k {
+			t.Fatalf("shifted early at %d", i)
+		}
+		a.OnResult(peer, phy.Rate650k, true)
+	}
+	if a.TxRate(peer) != phy.Rate1300k {
+		t.Fatalf("no up-shift after %d successes: %v", a.UpAfter, a.TxRate(peer))
+	}
+}
+
+func TestARFStepsDownAfterFailures(t *testing.T) {
+	a := NewARF(phy.Rate2600k)
+	a.OnResult(peer, phy.Rate2600k, false)
+	if a.TxRate(peer) != phy.Rate2600k {
+		t.Fatal("one failure must not shift")
+	}
+	a.OnResult(peer, phy.Rate2600k, false)
+	if a.TxRate(peer) != phy.Rate1950k {
+		t.Fatalf("no down-shift after 2 failures: %v", a.TxRate(peer))
+	}
+}
+
+func TestARFProbeFailureRetreatsImmediately(t *testing.T) {
+	a := NewARF(phy.Rate650k)
+	for i := 0; i < a.UpAfter; i++ {
+		a.OnResult(peer, phy.Rate650k, true)
+	}
+	if a.TxRate(peer) != phy.Rate1300k {
+		t.Fatal("setup failed")
+	}
+	// One failure on the probe rate retreats at once.
+	a.OnResult(peer, phy.Rate1300k, false)
+	if a.TxRate(peer) != phy.Rate650k {
+		t.Fatalf("probe failure did not retreat: %v", a.TxRate(peer))
+	}
+}
+
+func TestARFBounds(t *testing.T) {
+	a := NewARF(phy.Rate650k)
+	// Never below the bottom rate.
+	for i := 0; i < 10; i++ {
+		a.OnResult(peer, a.TxRate(peer), false)
+	}
+	if a.TxRate(peer) != phy.Rate650k {
+		t.Fatal("fell below bottom rate")
+	}
+	// Never above MaxRate.
+	a.MaxRate = phy.Rate1300k
+	for i := 0; i < 100; i++ {
+		a.OnResult(peer, a.TxRate(peer), true)
+	}
+	if a.TxRate(peer) > phy.Rate1300k {
+		t.Fatalf("exceeded MaxRate: %v", a.TxRate(peer))
+	}
+}
+
+func TestARFStaleResultIgnored(t *testing.T) {
+	a := NewARF(phy.Rate1300k)
+	// Feedback for a rate we are no longer using must not count.
+	a.OnResult(peer, phy.Rate2600k, false)
+	a.OnResult(peer, phy.Rate2600k, false)
+	if a.TxRate(peer) != phy.Rate1300k {
+		t.Fatal("stale results shifted the rate")
+	}
+}
+
+func TestARFPerPeerState(t *testing.T) {
+	a := NewARF(phy.Rate1300k)
+	other := frame.NodeAddr(2)
+	a.OnResult(peer, phy.Rate1300k, false)
+	a.OnResult(peer, phy.Rate1300k, false)
+	if a.TxRate(peer) != phy.Rate650k || a.TxRate(other) != phy.Rate1300k {
+		t.Fatal("peer states leaked")
+	}
+}
+
+func TestRBARPicksByFeedback(t *testing.T) {
+	r := NewRBAR(phy.DefaultParams(), phy.Rate650k)
+	if r.TxRate(peer) != phy.Rate650k {
+		t.Fatal("no-feedback fallback wrong")
+	}
+	// 25 dB (the paper's SNR): 64-QAM is out, 16-QAM 3/4 is fine.
+	r.OnFeedback(peer, 25)
+	if got := r.TxRate(peer); got != phy.Rate3900k {
+		t.Errorf("at 25 dB RBAR picked %v, want 3.9Mbps (fastest reliable)", got)
+	}
+	// Feed a collapse: smoothing pulls the estimate down over a few
+	// samples and the rate follows.
+	for i := 0; i < 12; i++ {
+		r.OnFeedback(peer, 8)
+	}
+	if got := r.TxRate(peer); got > phy.Rate1300k {
+		t.Errorf("after collapse to 8 dB RBAR still at %v", got)
+	}
+}
+
+func TestRBARBestRateMonotone(t *testing.T) {
+	r := NewRBAR(phy.DefaultParams(), phy.Rate650k)
+	prev := phy.Rate650k
+	for snr := 0.0; snr <= 40; snr += 1 {
+		got := r.BestRate(snr)
+		if got < prev {
+			t.Fatalf("BestRate not monotone at %v dB: %v after %v", snr, got, prev)
+		}
+		prev = got
+	}
+	if prev < phy.Rate5200k {
+		t.Errorf("BestRate never reaches 64-QAM even at 40 dB: %v", prev)
+	}
+}
+
+// Over-the-air convergence: ARF on a clean 25 dB link climbs to the
+// fastest reliable rate (3.9 Mbps) and stays there; on a 14 dB link it
+// settles low.
+func TestARFConvergesOverTheAir(t *testing.T) {
+	run := func(snr float64) phy.Rate {
+		s := sim.NewScheduler(3)
+		med := medium.New(s, phy.DefaultParams(), 2)
+		ctrl := NewARF(phy.Rate650k)
+		opts := mac.DefaultOptions(mac.UA, phy.Rate650k)
+		opts.RateController = ctrl
+		var macs []*mac.MAC
+		for i := 0; i < 2; i++ {
+			macs = append(macs, mac.New(s, med, medium.NodeID(i), opts,
+				func(frame.DecodedSubframe, bool) {}))
+		}
+		med.SetSNR(0, 1, snr)
+		// Long steady unicast stream 0 -> 1.
+		n := 0
+		var feed func()
+		feed = func() {
+			if n >= 400 {
+				return
+			}
+			_, uq := macs[0].QueueLen()
+			for i := uq; i < 3; i++ {
+				macs[0].Enqueue(mac.Outgoing{Dst: frame.NodeAddr(1), Src: frame.NodeAddr(0),
+					Payload: make([]byte, 1436)}, false)
+				n++
+			}
+			s.After(5*time.Millisecond, "feed", feed)
+		}
+		s.After(0, "start", func() { feed() })
+		s.RunUntil(30 * time.Second)
+		return ctrl.TxRate(frame.NodeAddr(1))
+	}
+	if got := run(25); got < phy.Rate2600k || got > phy.Rate5200k {
+		t.Errorf("at 25 dB ARF settled at %v, want near 3.9Mbps", got)
+	}
+	if got := run(14); got > phy.Rate1950k {
+		t.Errorf("at 14 dB ARF settled at %v, want a low rate", got)
+	}
+}
+
+// RBAR over the air: SNR feedback from the CTS drives the choice without
+// any loss probing.
+func TestRBAROverTheAir(t *testing.T) {
+	s2 := sim.NewScheduler(4)
+	med2 := medium.New(s2, phy.DefaultParams(), 2)
+	ctrl2 := NewRBAR(phy.DefaultParams(), phy.Rate650k)
+	opts2 := mac.DefaultOptions(mac.UA, phy.Rate650k)
+	opts2.RateController = ctrl2
+	delivered := 0
+	sender := mac.New(s2, med2, medium.NodeID(0), opts2, func(frame.DecodedSubframe, bool) {})
+	mac.New(s2, med2, medium.NodeID(1), opts2, func(frame.DecodedSubframe, bool) { delivered++ })
+	s2.After(0, "enq", func() {
+		for i := 0; i < 20; i++ {
+			sender.Enqueue(mac.Outgoing{Dst: frame.NodeAddr(1), Src: frame.NodeAddr(0),
+				Payload: make([]byte, 1436)}, false)
+		}
+	})
+	s2.RunUntil(10 * time.Second)
+	if delivered != 20 {
+		t.Fatalf("delivered %d of 20", delivered)
+	}
+	// After the first CTS, RBAR has 25 dB feedback and jumps to 3.9 Mbps.
+	if r := ctrl2.TxRate(frame.NodeAddr(1)); r != phy.Rate3900k {
+		t.Errorf("RBAR rate after feedback = %v, want 3.9Mbps", r)
+	}
+}

@@ -1,0 +1,286 @@
+// Package routing implements an AODV-style on-demand routing protocol
+// (Perkins, Royer & Das — reference [15] of the paper). Route requests
+// flood the network as broadcast frames and route replies travel back
+// unicast along the reverse path; this is exactly the "flooding-based
+// control protocol" traffic whose cost §3.2 argues broadcast aggregation
+// absorbs.
+//
+// It is AODV-lite: request-ID dedup plus hop-count preference stand in for
+// full sequence-number freshness, and there is no RERR (the simulated
+// links do not churn). Routes are installed directly into the network
+// layer's table, so transports stay unaware: a TCP SYN that finds no route
+// triggers discovery via network.Node.OnNoRoute, is dropped, and its
+// retransmission rides the freshly installed route.
+package routing
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"aggmac/internal/network"
+	"aggmac/internal/sim"
+)
+
+// Proto is the IP protocol number of routing control traffic.
+const Proto = 254
+
+// Message types.
+const (
+	typeRREQ = 1
+	typeRREP = 2
+)
+
+// wireLen is the fixed control-message size before PHY minimum padding.
+const wireLen = 12
+
+const magic = 0x4152 // "AR"
+
+// ErrBadMessage reports an undecodable routing message.
+var ErrBadMessage = errors.New("routing: malformed message")
+
+// message is a route request or reply.
+type message struct {
+	Type     uint8
+	HopCount uint8
+	ReqID    uint32
+	Origin   network.NodeID
+	Target   network.NodeID
+}
+
+func (m *message) marshal() []byte {
+	b := make([]byte, wireLen)
+	binary.BigEndian.PutUint16(b[0:2], magic)
+	b[2] = m.Type
+	b[3] = m.HopCount
+	binary.BigEndian.PutUint32(b[4:8], m.ReqID)
+	binary.BigEndian.PutUint16(b[8:10], uint16(m.Origin))
+	binary.BigEndian.PutUint16(b[10:12], uint16(m.Target))
+	return b
+}
+
+func decode(b []byte) (message, error) {
+	var m message
+	if len(b) < wireLen || binary.BigEndian.Uint16(b[0:2]) != magic {
+		return m, ErrBadMessage
+	}
+	m.Type = b[2]
+	m.HopCount = b[3]
+	m.ReqID = binary.BigEndian.Uint32(b[4:8])
+	m.Origin = network.NodeID(binary.BigEndian.Uint16(b[8:10]))
+	m.Target = network.NodeID(binary.BigEndian.Uint16(b[10:12]))
+	if m.Type != typeRREQ && m.Type != typeRREP {
+		return m, fmt.Errorf("%w: type %d", ErrBadMessage, m.Type)
+	}
+	return m, nil
+}
+
+// Stats counts protocol events at one router.
+type Stats struct {
+	RREQSent    int // originated + rebroadcast
+	RREQRcvd    int
+	RREPSent    int
+	RREPFwd     int
+	RREPRcvd    int
+	Discoveries int
+	RoutesAdded int
+	Expiries    int
+}
+
+// Config tunes the router.
+type Config struct {
+	// MaxHops bounds RREQ flooding (default 8).
+	MaxHops int
+	// RetryInterval rate-limits rediscovery for the same target
+	// (default 500 ms).
+	RetryInterval time.Duration
+	// RouteLifetime expires idle routes; 0 (default) keeps them forever,
+	// matching the paper's static-route runs.
+	RouteLifetime time.Duration
+}
+
+// DefaultConfig returns the default router tuning.
+func DefaultConfig() Config {
+	return Config{MaxHops: 8, RetryInterval: 500 * time.Millisecond}
+}
+
+// reqKey dedups flooded requests.
+type reqKey struct {
+	origin network.NodeID
+	id     uint32
+}
+
+// Router runs the protocol on one node.
+type Router struct {
+	sched *sim.Scheduler
+	node  *network.Node
+	cfg   Config
+
+	nextReq uint32
+	seen    map[reqKey]uint8 // best hop count witnessed per request
+	lastTry map[network.NodeID]sim.Time
+	hops    map[network.NodeID]uint8 // installed route quality
+	expiry  map[network.NodeID]*sim.Timer
+	stats   Stats
+}
+
+// New attaches a router to the node: it handles routing-protocol packets
+// and starts discovery whenever the node lacks a route.
+func New(sched *sim.Scheduler, node *network.Node, cfg Config) *Router {
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = 8
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 500 * time.Millisecond
+	}
+	r := &Router{
+		sched:   sched,
+		node:    node,
+		cfg:     cfg,
+		seen:    make(map[reqKey]uint8),
+		lastTry: make(map[network.NodeID]sim.Time),
+		hops:    make(map[network.NodeID]uint8),
+		expiry:  make(map[network.NodeID]*sim.Timer),
+	}
+	node.Handle(Proto, r.onPacket)
+	node.OnNoRoute = r.Discover
+	return r
+}
+
+// Stats returns a snapshot of the router's counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// Discover originates a route request for dst (rate-limited).
+func (r *Router) Discover(dst network.NodeID) {
+	if dst == r.node.ID() || dst == network.BroadcastID {
+		return
+	}
+	if _, ok := r.node.Route(dst); ok {
+		return
+	}
+	now := r.sched.Now()
+	if last, ok := r.lastTry[dst]; ok && now-last < r.cfg.RetryInterval {
+		return
+	}
+	r.lastTry[dst] = now
+	r.nextReq++
+	m := message{Type: typeRREQ, ReqID: r.nextReq, Origin: r.node.ID(), Target: dst}
+	r.seen[reqKey{m.Origin, m.ReqID}] = 0
+	r.stats.Discoveries++
+	r.broadcast(&m)
+}
+
+func (r *Router) broadcast(m *message) {
+	r.stats.RREQSent++
+	_ = r.node.Send(network.Packet{
+		Proto: Proto, Src: r.node.ID(), Dst: network.BroadcastID,
+		Payload: m.marshal(),
+	})
+}
+
+// install learns a route if it beats what we have.
+func (r *Router) install(dst, next network.NodeID, hopCount uint8) bool {
+	if dst == r.node.ID() {
+		return false
+	}
+	if old, ok := r.hops[dst]; ok {
+		if _, have := r.node.Route(dst); have && old <= hopCount {
+			return false
+		}
+	}
+	r.node.AddRoute(dst, next)
+	r.hops[dst] = hopCount
+	r.stats.RoutesAdded++
+	r.armExpiry(dst)
+	return true
+}
+
+func (r *Router) armExpiry(dst network.NodeID) {
+	if r.cfg.RouteLifetime <= 0 {
+		return
+	}
+	if t := r.expiry[dst]; t != nil {
+		t.Stop()
+	}
+	r.expiry[dst] = r.sched.After(r.cfg.RouteLifetime, "routing:expire", func() {
+		r.node.DelRoute(dst)
+		delete(r.hops, dst)
+		r.stats.Expiries++
+	})
+}
+
+// onPacket handles a routing message. pkt.Src is the ORIGINAL sender for
+// unicast RREPs, but flooded RREQs are re-originated hop by hop, so for
+// them pkt.Src is the previous hop.
+func (r *Router) onPacket(pkt network.Packet) {
+	m, err := decode(pkt.Payload)
+	if err != nil {
+		return
+	}
+	switch m.Type {
+	case typeRREQ:
+		r.onRREQ(pkt.Src, m)
+	case typeRREP:
+		r.onRREP(pkt.Src, m)
+	}
+}
+
+func (r *Router) onRREQ(prevHop network.NodeID, m message) {
+	r.stats.RREQRcvd++
+	if m.Origin == r.node.ID() {
+		return // our own flood echoed back
+	}
+	// Whoever we just heard is a direct neighbour (AODV's previous-hop
+	// route) — the RREP unicast back depends on it.
+	r.install(prevHop, prevHop, 1)
+	key := reqKey{m.Origin, m.ReqID}
+	hops := m.HopCount + 1
+	if best, ok := r.seen[key]; ok && best <= hops {
+		return // already handled a same-or-better copy
+	}
+	r.seen[key] = hops
+
+	// Reverse route toward the origin via the previous hop.
+	r.install(m.Origin, prevHop, hops)
+
+	if m.Target == r.node.ID() {
+		// We are the target: unicast a reply along the reverse path.
+		rep := message{Type: typeRREP, ReqID: m.ReqID, Origin: m.Origin, Target: m.Target}
+		r.stats.RREPSent++
+		_ = r.node.Send(network.Packet{
+			Proto: Proto, Src: r.node.ID(), Dst: prevHop,
+			Payload: rep.marshal(),
+		})
+		return
+	}
+	if int(hops) >= r.cfg.MaxHops {
+		return
+	}
+	// Rebroadcast (re-originate: broadcasts are not forwarded by the
+	// network layer).
+	m.HopCount = hops
+	r.broadcast(&m)
+}
+
+func (r *Router) onRREP(prevHop network.NodeID, m message) {
+	r.stats.RREPRcvd++
+	r.install(prevHop, prevHop, 1)
+	hops := m.HopCount + 1
+	// Forward route toward the target via whoever handed us the reply.
+	r.install(m.Target, prevHop, hops)
+	if m.Origin == r.node.ID() {
+		return // discovery complete
+	}
+	// Relay the reply toward the origin along the reverse route.
+	next, ok := r.node.Route(m.Origin)
+	if !ok {
+		return
+	}
+	m.HopCount = hops
+	r.stats.RREPFwd++
+	_ = r.node.Send(network.Packet{
+		Proto: Proto, Src: r.node.ID(), Dst: next,
+		Payload: m.marshal(),
+	})
+}

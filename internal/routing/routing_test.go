@@ -1,0 +1,248 @@
+package routing
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"aggmac/internal/mac"
+	"aggmac/internal/medium"
+	"aggmac/internal/network"
+	"aggmac/internal/phy"
+	"aggmac/internal/sim"
+	"aggmac/internal/tcp"
+	"aggmac/internal/udp"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := message{Type: typeRREQ, HopCount: 3, ReqID: 77, Origin: 1, Target: 5}
+	got, err := decode(m.marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("mangled: %+v vs %+v", got, m)
+	}
+	if _, err := decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short message decoded")
+	}
+	bad := m.marshal()
+	bad[0] = 0
+	if _, err := decode(bad); err == nil {
+		t.Fatal("bad magic decoded")
+	}
+	bad = m.marshal()
+	bad[2] = 9
+	if _, err := decode(bad); err == nil {
+		t.Fatal("bad type decoded")
+	}
+}
+
+// rig builds n nodes with radio range limited to adjacent chain neighbours
+// (unlike the paper's one-room testbed, discovery needs real multi-hop RF).
+type rig struct {
+	s       *sim.Scheduler
+	med     *medium.Medium
+	nodes   []*network.Node
+	routers []*Router
+}
+
+func newRig(t *testing.T, n int, scheme mac.Scheme, cfg Config) *rig {
+	t.Helper()
+	r := &rig{s: sim.NewScheduler(77)}
+	r.med = medium.New(r.s, phy.DefaultParams(), n)
+	opts := mac.DefaultOptions(scheme, phy.Rate1300k)
+	for i := 0; i < n; i++ {
+		node := network.NewNode(network.NodeID(i))
+		m := mac.New(r.s, r.med, medium.NodeID(i), opts, node.Bind())
+		node.AttachMAC(m)
+		r.nodes = append(r.nodes, node)
+		r.routers = append(r.routers, New(r.s, node, cfg))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 2; j < n; j++ {
+			r.med.SetConnected(medium.NodeID(i), medium.NodeID(j), false)
+		}
+	}
+	return r
+}
+
+func TestDiscoveryAcrossThreeHops(t *testing.T) {
+	r := newRig(t, 4, mac.BA, DefaultConfig())
+	r.s.After(0, "discover", func() { r.routers[0].Discover(3) })
+	r.s.RunUntil(2 * time.Second)
+	next, ok := r.nodes[0].Route(3)
+	if !ok || next != 1 {
+		t.Fatalf("node 0 route to 3: next=%v ok=%v, want via 1", next, ok)
+	}
+	// Forward routes along the chain.
+	if next, ok := r.nodes[1].Route(3); !ok || next != 2 {
+		t.Fatalf("node 1 route to 3: %v/%v", next, ok)
+	}
+	// Reverse routes back to the origin were installed by the flood.
+	if next, ok := r.nodes[3].Route(0); !ok || next != 2 {
+		t.Fatalf("node 3 reverse route to 0: %v/%v", next, ok)
+	}
+	if r.routers[3].Stats().RREPSent != 1 {
+		t.Fatalf("target sent %d RREPs, want 1", r.routers[3].Stats().RREPSent)
+	}
+}
+
+func TestDiscoveredRoutesCarryData(t *testing.T) {
+	r := newRig(t, 4, mac.BA, DefaultConfig())
+	eps := make([]*udp.Endpoint, 4)
+	for i, n := range r.nodes {
+		eps[i] = udp.NewEndpoint(r.s, n)
+	}
+	got := 0
+	eps[3].Listen(9000, func(network.NodeID, udp.Datagram) { got++ })
+	r.s.After(0, "discover", func() { r.routers[0].Discover(3) })
+	r.s.After(time.Second, "send", func() {
+		if err := eps[0].Send(3, 9001, 9000, []byte("via aodv")); err != nil {
+			t.Errorf("send after discovery: %v", err)
+		}
+	})
+	r.s.RunUntil(3 * time.Second)
+	if got != 1 {
+		t.Fatalf("datagram not delivered over discovered route")
+	}
+}
+
+func TestTCPTriggersDiscoveryTransparently(t *testing.T) {
+	// No static routes anywhere: the TCP SYN hits OnNoRoute, discovery
+	// runs, the retransmitted SYN rides the new route, and the transfer
+	// completes end to end.
+	r := newRig(t, 4, mac.BA, DefaultConfig())
+	stacks := make([]*tcp.Stack, 4)
+	for i, n := range r.nodes {
+		stacks[i] = tcp.NewStack(r.s, n, tcp.DefaultConfig())
+	}
+	var rcvd []byte
+	lis := stacks[3].Listen(80)
+	lis.Setup = func(c *tcp.Conn) {
+		c.OnData = func(b []byte) { rcvd = append(rcvd, b...) }
+		c.OnPeerClose = func() { c.Close() }
+	}
+	data := make([]byte, 30_000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	r.s.After(0, "connect", func() {
+		conn := stacks[0].Connect(3, 80)
+		conn.OnEstablished = func() {
+			_ = conn.Send(data)
+			conn.Close()
+		}
+	})
+	r.s.RunUntil(120 * time.Second)
+	if !bytes.Equal(rcvd, data) {
+		t.Fatalf("received %d of %d bytes over discovered route", len(rcvd), len(data))
+	}
+	if r.routers[0].Stats().Discoveries == 0 {
+		t.Fatal("no discovery was triggered")
+	}
+	// Note: the client's reverse path rides the reverse routes the RREQ
+	// flood installed, so no second discovery is necessary.
+}
+
+func TestFloodDedup(t *testing.T) {
+	r := newRig(t, 5, mac.BA, DefaultConfig())
+	r.s.After(0, "discover", func() { r.routers[0].Discover(4) })
+	r.s.RunUntil(2 * time.Second)
+	// Every intermediate node rebroadcasts a request once (better-path
+	// re-processing may allow one more, but never per-copy explosion).
+	for i := 1; i <= 3; i++ {
+		if s := r.routers[i].Stats().RREQSent; s > 2 {
+			t.Errorf("node %d rebroadcast %d times — dedup failed", i, s)
+		}
+	}
+}
+
+func TestMaxHopsBoundsFlood(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxHops = 2
+	r := newRig(t, 5, mac.BA, cfg)
+	r.s.After(0, "discover", func() { r.routers[0].Discover(4) })
+	r.s.RunUntil(2 * time.Second)
+	if _, ok := r.nodes[0].Route(4); ok {
+		t.Fatal("4-hop target discovered despite MaxHops=2")
+	}
+	// A 2-hop target is still reachable.
+	r.s.After(0, "discover2", func() { r.routers[0].Discover(2) })
+	r.s.RunUntil(4 * time.Second)
+	if _, ok := r.nodes[0].Route(2); !ok {
+		t.Fatal("2-hop target not discovered with MaxHops=2")
+	}
+}
+
+func TestDiscoverRateLimited(t *testing.T) {
+	r := newRig(t, 3, mac.BA, DefaultConfig())
+	r.s.After(0, "spam", func() {
+		for i := 0; i < 10; i++ {
+			r.routers[0].Discover(99) // unreachable target
+		}
+	})
+	r.s.RunUntil(200 * time.Millisecond)
+	if d := r.routers[0].Stats().Discoveries; d != 1 {
+		t.Fatalf("%d discoveries for 10 back-to-back calls, want 1", d)
+	}
+	r.s.RunUntil(time.Second)
+	r.s.After(0, "later", func() { r.routers[0].Discover(99) })
+	r.s.RunUntil(1100 * time.Millisecond)
+	if d := r.routers[0].Stats().Discoveries; d != 2 {
+		t.Fatalf("rediscovery after the retry interval did not run (%d)", d)
+	}
+}
+
+func TestRouteExpiry(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RouteLifetime = 500 * time.Millisecond
+	r := newRig(t, 3, mac.BA, cfg)
+	r.s.After(0, "discover", func() { r.routers[0].Discover(2) })
+	r.s.RunUntil(300 * time.Millisecond)
+	if _, ok := r.nodes[0].Route(2); !ok {
+		t.Fatal("route not installed")
+	}
+	r.s.RunUntil(2 * time.Second)
+	if _, ok := r.nodes[0].Route(2); ok {
+		t.Fatal("route did not expire")
+	}
+	if r.routers[0].Stats().Expiries == 0 {
+		t.Fatal("expiry not counted")
+	}
+}
+
+func TestNoSelfOrBroadcastDiscovery(t *testing.T) {
+	r := newRig(t, 2, mac.BA, DefaultConfig())
+	r.s.After(0, "d", func() {
+		r.routers[0].Discover(0)
+		r.routers[0].Discover(network.BroadcastID)
+	})
+	r.s.RunUntil(100 * time.Millisecond)
+	if d := r.routers[0].Stats().Discoveries; d != 0 {
+		t.Fatalf("discovered self/broadcast: %d", d)
+	}
+}
+
+func TestRREQsRideBroadcastPortions(t *testing.T) {
+	// Under BA, discovery floods from a node that is also pushing unicast
+	// data share PHY frames with that data.
+	r := newRig(t, 3, mac.BA, DefaultConfig())
+	eps := []*udp.Endpoint{udp.NewEndpoint(r.s, r.nodes[0]), udp.NewEndpoint(r.s, r.nodes[1]), udp.NewEndpoint(r.s, r.nodes[2])}
+	r.nodes[0].AddRoute(1, 1) // static unicast next hop for data
+	r.s.After(0, "go", func() {
+		for i := 0; i < 5; i++ {
+			_ = eps[0].Send(1, 9001, 9000, make([]byte, 1000))
+		}
+		r.routers[0].Discover(2)
+	})
+	r.s.RunUntil(time.Second)
+	c := r.nodes[0].MAC().Counters()
+	if c.BroadcastSubTx == 0 {
+		t.Fatal("RREQ never left through a broadcast portion")
+	}
+	if c.DataTx >= c.BroadcastSubTx+5 {
+		t.Errorf("flood never aggregated with data: %d TXs for %d bcast + 5 data",
+			c.DataTx, c.BroadcastSubTx)
+	}
+}

@@ -1,0 +1,170 @@
+// Package sim provides the discrete-event simulation engine that all other
+// subsystems run on: a virtual clock, an event queue with deterministic
+// ordering, cancellable timers, and a seeded random source.
+//
+// All simulated components share one *Scheduler. Events scheduled for the
+// same instant fire in the order they were scheduled (FIFO), which keeps
+// runs fully deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is the simulated clock value, measured as an offset from the start of
+// the run. It uses time.Duration (nanoseconds) so PHY-level math — samples at
+// 2 Msps are 500 ns each — stays exact.
+type Time = time.Duration
+
+// Event is a scheduled callback.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-break: FIFO among equal times
+	fn     func()
+	index  int // heap index, -1 when not queued
+	dead   bool
+	What   string // optional label, used in traces and tests
+	cancel bool
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ev *Event }
+
+// Stop cancels the timer. It reports whether the timer was still pending
+// (false if it already fired or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead || t.ev.cancel {
+		return false
+	}
+	t.ev.cancel = true
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.dead && !t.ev.cancel
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler owns the virtual clock and the pending-event queue.
+type Scheduler struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	ran    uint64
+	halted bool
+}
+
+// NewScheduler returns a scheduler whose random source is seeded with seed.
+// The same seed always yields the same run.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand returns the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// EventsRun returns the number of events executed so far.
+func (s *Scheduler) EventsRun() uint64 { return s.ran }
+
+// Pending returns the number of events currently queued (including
+// cancelled-but-unreaped ones).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past panics:
+// that is always a simulation bug, never a recoverable condition.
+func (s *Scheduler) At(at Time, what string, fn func()) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", what, at, s.now))
+	}
+	ev := &Event{at: at, seq: s.seq, fn: fn, What: what, index: -1}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d from now.
+func (s *Scheduler) After(d time.Duration, what string, fn func()) *Timer {
+	return s.At(s.now+d, what, fn)
+}
+
+// Halt stops the run loop after the current event returns.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Step runs the next pending event, advancing the clock to its deadline.
+// It reports false when no events remain.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*Event)
+		ev.dead = true
+		if ev.cancel {
+			continue
+		}
+		s.now = ev.at
+		s.ran++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (s *Scheduler) Run() {
+	s.halted = false
+	for !s.halted && s.Step() {
+	}
+}
+
+// RunUntil executes events with deadlines <= end, then sets the clock to end.
+// Events scheduled beyond end remain queued.
+func (s *Scheduler) RunUntil(end Time) {
+	s.halted = false
+	for !s.halted {
+		if len(s.queue) == 0 {
+			break
+		}
+		// Peek: queue[0] is the earliest event.
+		if s.queue[0].at > end {
+			break
+		}
+		s.Step()
+	}
+	if s.now < end {
+		s.now = end
+	}
+}

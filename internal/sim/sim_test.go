@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	s.After(30*time.Microsecond, "c", func() { got = append(got, 3) })
+	s.After(10*time.Microsecond, "a", func() { got = append(got, 1) })
+	s.After(20*time.Microsecond, "b", func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*time.Microsecond {
+		t.Fatalf("Now = %v, want 30µs", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, "tie", func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler(1)
+	var fired []string
+	s.After(time.Millisecond, "outer", func() {
+		fired = append(fired, "outer")
+		s.After(time.Millisecond, "inner", func() { fired = append(fired, "inner") })
+	})
+	s.Run()
+	if len(fired) != 2 || fired[1] != "inner" {
+		t.Fatalf("nested scheduling failed: %v", fired)
+	}
+	if s.Now() != 2*time.Millisecond {
+		t.Fatalf("Now = %v, want 2ms", s.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := NewScheduler(1)
+	ran := false
+	tm := s.After(time.Millisecond, "x", func() { ran = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending before Stop")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report true for a pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	if tm.Pending() {
+		t.Fatal("timer should not be pending after Stop")
+	}
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := NewScheduler(1)
+	tm := s.After(time.Millisecond, "x", func() {})
+	s.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after fire should report false")
+	}
+	if tm.Pending() {
+		t.Fatal("fired timer should not be pending")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := NewScheduler(1)
+	s.After(time.Millisecond, "x", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		s.At(0, "past", func() {})
+	})
+	s.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler(1)
+	var fired []string
+	s.After(time.Millisecond, "a", func() { fired = append(fired, "a") })
+	s.After(3*time.Millisecond, "b", func() { fired = append(fired, "b") })
+	s.RunUntil(2 * time.Millisecond)
+	if len(fired) != 1 || fired[0] != "a" {
+		t.Fatalf("RunUntil fired %v, want [a]", fired)
+	}
+	if s.Now() != 2*time.Millisecond {
+		t.Fatalf("Now = %v, want 2ms", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 2 {
+		t.Fatalf("remaining event did not run: %v", fired)
+	}
+}
+
+func TestRunUntilEmptyAdvancesClock(t *testing.T) {
+	s := NewScheduler(1)
+	s.RunUntil(5 * time.Second)
+	if s.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", s.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := NewScheduler(1)
+	n := 0
+	s.After(time.Millisecond, "a", func() { n++; s.Halt() })
+	s.After(2*time.Millisecond, "b", func() { n++ })
+	s.Run()
+	if n != 1 {
+		t.Fatalf("Halt did not stop the loop: ran %d events", n)
+	}
+	s.Run()
+	if n != 2 {
+		t.Fatalf("second Run did not resume: ran %d events", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		s := NewScheduler(seed)
+		var trace []int64
+		var step func()
+		step = func() {
+			trace = append(trace, int64(s.Now()), s.rng.Int63n(1000))
+			if len(trace) < 200 {
+				s.After(time.Duration(1+s.rng.Intn(100))*time.Microsecond, "step", step)
+			}
+		}
+		s.After(0, "start", step)
+		s.Run()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the clock ends at the max delay.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		if len(delaysRaw) == 0 {
+			return true
+		}
+		s := NewScheduler(7)
+		var fireTimes []Time
+		var maxd time.Duration
+		for _, d := range delaysRaw {
+			dur := time.Duration(d) * time.Microsecond
+			if dur > maxd {
+				maxd = dur
+			}
+			s.After(dur, "p", func() { fireTimes = append(fireTimes, s.Now()) })
+		}
+		s.Run()
+		if len(fireTimes) != len(delaysRaw) {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return s.Now() == maxd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset of timers means exactly the
+// complement fires.
+func TestPropertyCancellation(t *testing.T) {
+	f := func(delays []uint8, cancelMask []bool) bool {
+		s := NewScheduler(3)
+		fired := make([]bool, len(delays))
+		timers := make([]*Timer, len(delays))
+		for i, d := range delays {
+			i := i
+			timers[i] = s.After(time.Duration(d)*time.Microsecond, "p", func() { fired[i] = true })
+		}
+		cancelled := make([]bool, len(delays))
+		for i := range timers {
+			if i < len(cancelMask) && cancelMask[i] {
+				timers[i].Stop()
+				cancelled[i] = true
+			}
+		}
+		s.Run()
+		for i := range fired {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := NewScheduler(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, "bench", func() {})
+		s.Step()
+	}
+}

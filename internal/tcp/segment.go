@@ -1,0 +1,115 @@
+// Package tcp implements the transport layer the paper's evaluation runs
+// on: a Reno/NewReno-style TCP with three-way handshake, cumulative
+// acknowledgements, slow start, congestion avoidance, fast
+// retransmit/recovery, retransmission timeouts, and orderly close.
+//
+// The paper's §3.3 observation — pure TCP ACKs are small, cumulative and
+// redundant, so they can ride unacknowledged as broadcast subframes — is
+// exported as IsPureAck, which the network layer's cross-layer classifier
+// calls.
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// HeaderLen is the TCP header size (no options).
+const HeaderLen = 20
+
+// Flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+)
+
+// ErrBadSegment reports an undecodable TCP segment.
+var ErrBadSegment = errors.New("tcp: malformed segment")
+
+// Segment is one TCP segment.
+type Segment struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Payload          []byte
+}
+
+// HasFlag reports whether all given flag bits are set.
+func (s *Segment) HasFlag(f uint8) bool { return s.Flags&f == f }
+
+// IsPureAck reports whether the segment carries only an acknowledgement:
+// the ACK flag, no payload, and no part in connection setup or teardown.
+// This is the paper's classification rule (§4.2.4).
+func (s *Segment) IsPureAck() bool {
+	return s.HasFlag(FlagACK) && len(s.Payload) == 0 &&
+		s.Flags&(FlagSYN|FlagFIN|FlagRST) == 0
+}
+
+// checksum is a 16-bit ones-complement sum over the marshaled segment with
+// the checksum field zeroed.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Marshal serializes the segment.
+func (s *Segment) Marshal() []byte {
+	b := make([]byte, HeaderLen+len(s.Payload))
+	binary.BigEndian.PutUint16(b[0:2], s.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], s.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], s.Seq)
+	binary.BigEndian.PutUint32(b[8:12], s.Ack)
+	b[12] = 5 << 4 // data offset: 5 words
+	b[13] = s.Flags
+	binary.BigEndian.PutUint16(b[14:16], s.Window)
+	copy(b[HeaderLen:], s.Payload)
+	binary.BigEndian.PutUint16(b[16:18], checksum(b))
+	return b
+}
+
+// DecodeSegment parses and verifies a segment.
+func DecodeSegment(b []byte) (Segment, error) {
+	var s Segment
+	if len(b) < HeaderLen {
+		return s, fmt.Errorf("%w: %d bytes", ErrBadSegment, len(b))
+	}
+	if b[12]>>4 != 5 {
+		return s, fmt.Errorf("%w: data offset %d", ErrBadSegment, b[12]>>4)
+	}
+	if checksum(b) != 0 {
+		return s, fmt.Errorf("%w: checksum", ErrBadSegment)
+	}
+	s.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	s.DstPort = binary.BigEndian.Uint16(b[2:4])
+	s.Seq = binary.BigEndian.Uint32(b[4:8])
+	s.Ack = binary.BigEndian.Uint32(b[8:12])
+	s.Flags = b[13]
+	s.Window = binary.BigEndian.Uint16(b[14:16])
+	s.Payload = b[HeaderLen:]
+	return s, nil
+}
+
+// IsPureAck is the network-layer classifier entry point: it decodes just
+// enough of a transport payload to apply the §4.2.4 rule. Undecodable
+// payloads are never classified (they stay on the unicast path).
+func IsPureAck(transport []byte) bool {
+	s, err := DecodeSegment(transport)
+	if err != nil {
+		return false
+	}
+	return s.IsPureAck()
+}

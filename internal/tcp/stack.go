@@ -1,0 +1,158 @@
+package tcp
+
+import (
+	"fmt"
+
+	"aggmac/internal/network"
+	"aggmac/internal/sim"
+)
+
+// connKey demultiplexes segments to connections.
+type connKey struct {
+	peer       network.NodeID
+	localPort  uint16
+	remotePort uint16
+}
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	port uint16
+	// OnConn fires when a connection completes the handshake.
+	OnConn func(*Conn)
+	// Setup customizes a half-open connection (callbacks, config) before
+	// the SYN-ACK is sent.
+	Setup func(*Conn)
+}
+
+// Stack is one node's TCP entity: it owns the connections and plugs the
+// pure-ACK classifier into the network layer.
+type Stack struct {
+	sched     *sim.Scheduler
+	node      *network.Node
+	cfg       Config
+	conns     map[connKey]*Conn
+	listeners map[uint16]*Listener
+	nextPort  uint16
+
+	sendOverride func(network.NodeID, *Segment) error // tests only
+}
+
+// NewStack attaches a TCP entity to the node. It registers the protocol
+// handler and the cross-layer classifier (the MAC only uses it when the
+// scheme says so).
+func NewStack(sched *sim.Scheduler, node *network.Node, cfg Config) *Stack {
+	st := &Stack{
+		sched:     sched,
+		node:      node,
+		cfg:       cfg,
+		conns:     make(map[connKey]*Conn),
+		listeners: make(map[uint16]*Listener),
+		nextPort:  10000,
+	}
+	node.Handle(network.ProtoTCP, st.onPacket)
+	node.SetAckClassifier(IsPureAck)
+	return st
+}
+
+// Config returns the stack's default connection config.
+func (st *Stack) Config() Config { return st.cfg }
+
+// Listen accepts connections on port.
+func (st *Stack) Listen(port uint16) *Listener {
+	l := &Listener{port: port}
+	st.listeners[port] = l
+	return l
+}
+
+// Connect opens a connection to dst:port and sends the SYN.
+func (st *Stack) Connect(dst network.NodeID, port uint16) *Conn {
+	st.nextPort++
+	c := st.newConn(dst, st.nextPort, port)
+	c.state = StateSynSent
+	c.iss = uint32(st.sched.Rand().Int63())
+	c.sndUna = c.iss
+	c.sndNxt = c.iss + 1
+	c.bufBase = c.iss + 1
+	_ = c.emit(FlagSYN, c.iss, nil)
+	c.armRTO()
+	return c
+}
+
+func (st *Stack) newConn(peer network.NodeID, localPort, remotePort uint16) *Conn {
+	c := &Conn{
+		stack:      st,
+		cfg:        st.cfg,
+		peer:       peer,
+		localPort:  localPort,
+		remotePort: remotePort,
+		reasm:      make(map[uint32][]byte),
+		rto:        st.cfg.InitialRTO,
+		peerWnd:    65535,
+	}
+	c.cwnd = float64(st.cfg.InitialCwndSegs * st.cfg.MSS)
+	c.ssthresh = float64(int(st.cfg.Window))
+	st.conns[connKey{peer, localPort, remotePort}] = c
+	return c
+}
+
+func (st *Stack) drop(c *Conn) {
+	delete(st.conns, connKey{c.peer, c.localPort, c.remotePort})
+}
+
+// send marshals a segment into a network packet. Tests may intercept it.
+func (st *Stack) send(peer network.NodeID, seg *Segment) error {
+	if st.sendOverride != nil {
+		return st.sendOverride(peer, seg)
+	}
+	return st.node.Send(network.Packet{
+		Proto:   network.ProtoTCP,
+		Src:     st.node.ID(),
+		Dst:     peer,
+		Payload: seg.Marshal(),
+	})
+}
+
+// onPacket demultiplexes an inbound TCP packet.
+func (st *Stack) onPacket(pkt network.Packet) {
+	seg, err := DecodeSegment(pkt.Payload)
+	if err != nil {
+		return
+	}
+	key := connKey{pkt.Src, seg.DstPort, seg.SrcPort}
+	if c, ok := st.conns[key]; ok {
+		c.onSegment(&seg)
+		return
+	}
+	// New connection? Only a SYN to a listening port qualifies.
+	if seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK == 0 {
+		l, ok := st.listeners[seg.DstPort]
+		if !ok {
+			return
+		}
+		c := st.newConn(pkt.Src, seg.DstPort, seg.SrcPort)
+		c.state = StateSynReceived
+		c.iss = uint32(st.sched.Rand().Int63())
+		c.sndUna = c.iss
+		c.sndNxt = c.iss + 1
+		c.bufBase = c.iss + 1
+		c.rcvNxt = seg.Seq + 1
+		c.peerWnd = seg.Window
+		if l.Setup != nil {
+			l.Setup(c)
+		}
+		established := c.OnEstablished
+		c.OnEstablished = func() {
+			if l.OnConn != nil {
+				l.OnConn(c)
+			}
+			if established != nil {
+				established()
+			}
+		}
+		_ = c.emit(FlagSYN|FlagACK, c.iss, nil)
+		c.armRTO()
+	}
+}
+
+// String identifies the stack in traces.
+func (st *Stack) String() string { return fmt.Sprintf("tcp(stack %d)", st.node.ID()) }

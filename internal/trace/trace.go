@@ -1,0 +1,73 @@
+// Package trace renders channel events into a human-readable timeline —
+// the simulator's equivalent of a monitor-mode packet capture. Attach a
+// Tracer to a medium to see every RTS/CTS/aggregate/ACK on the air, with
+// collisions and noise losses called out.
+//
+//	tr := trace.New(os.Stdout)
+//	med.SetObserver(tr.Observe)
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"aggmac/internal/medium"
+)
+
+// Tracer formats events to a writer.
+type Tracer struct {
+	mu sync.Mutex
+	w  io.Writer
+
+	// Filter drops events for which it returns false (nil = keep all).
+	Filter func(medium.Event) bool
+
+	events int
+}
+
+// New creates a tracer writing to w.
+func New(w io.Writer) *Tracer { return &Tracer{w: w} }
+
+// Events returns the number of events written.
+func (t *Tracer) Events() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Observe is the medium.Observer entry point.
+func (t *Tracer) Observe(ev medium.Event) {
+	if t.Filter != nil && !t.Filter(ev) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events++
+	fmt.Fprintln(t.w, Format(ev))
+}
+
+// Format renders one event as a fixed-layout line.
+func Format(ev medium.Event) string {
+	at := time.Duration(ev.At)
+	switch ev.Kind {
+	case "tx-ctrl", "tx-agg":
+		return fmt.Sprintf("%12v  node%-2d  %-8s %-24s air=%v",
+			at, int(ev.Src), ev.Kind, ev.Info, ev.Dur)
+	case "collision":
+		return fmt.Sprintf("%12v  node%-2d  COLLISION at node%d", at, int(ev.Src), int(ev.Dst))
+	case "ctrl-noise":
+		return fmt.Sprintf("%12v  node%-2d  ctrl lost to noise at node%d", at, int(ev.Src), int(ev.Dst))
+	case "half-duplex":
+		return fmt.Sprintf("%12v  node%-2d  missed while node%d was transmitting", at, int(ev.Src), int(ev.Dst))
+	default:
+		return fmt.Sprintf("%12v  node%-2d  %-8s -> node%-2d %s",
+			at, int(ev.Src), ev.Kind, int(ev.Dst), ev.Info)
+	}
+}
+
+// OnlyTransmissions is a Filter keeping the channel-occupancy view.
+func OnlyTransmissions(ev medium.Event) bool {
+	return ev.Kind == "tx-ctrl" || ev.Kind == "tx-agg" || ev.Kind == "collision"
+}

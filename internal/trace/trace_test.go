@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"aggmac/internal/frame"
+	"aggmac/internal/mac"
+	"aggmac/internal/medium"
+	"aggmac/internal/phy"
+	"aggmac/internal/sim"
+)
+
+func TestTracerCapturesExchange(t *testing.T) {
+	s := sim.NewScheduler(1)
+	med := medium.New(s, phy.DefaultParams(), 2)
+	var sb strings.Builder
+	tr := New(&sb)
+	med.SetObserver(tr.Observe)
+
+	opts := mac.DefaultOptions(mac.UA, phy.Rate1300k)
+	m0 := mac.New(s, med, 0, opts, func(frame.DecodedSubframe, bool) {})
+	mac.New(s, med, 1, opts, func(frame.DecodedSubframe, bool) {})
+	s.After(0, "enq", func() {
+		m0.Enqueue(mac.Outgoing{Dst: frame.NodeAddr(1), Src: frame.NodeAddr(0),
+			Payload: make([]byte, 1000)}, false)
+	})
+	s.Run()
+
+	out := sb.String()
+	// A full RTS/CTS/DATA/ACK exchange must be visible.
+	for _, want := range []string{"RTS", "CTS", "tx-agg", "ACK", "0b+1u"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	if tr.Events() < 4 {
+		t.Errorf("only %d events traced", tr.Events())
+	}
+}
+
+func TestTracerFilter(t *testing.T) {
+	s := sim.NewScheduler(1)
+	med := medium.New(s, phy.DefaultParams(), 2)
+	var sb strings.Builder
+	tr := New(&sb)
+	tr.Filter = OnlyTransmissions
+	med.SetObserver(tr.Observe)
+
+	opts := mac.DefaultOptions(mac.UA, phy.Rate1300k)
+	m0 := mac.New(s, med, 0, opts, func(frame.DecodedSubframe, bool) {})
+	mac.New(s, med, 1, opts, func(frame.DecodedSubframe, bool) {})
+	s.After(0, "enq", func() {
+		m0.Enqueue(mac.Outgoing{Dst: frame.NodeAddr(1), Src: frame.NodeAddr(0),
+			Payload: make([]byte, 500)}, false)
+	})
+	s.Run()
+	if strings.Contains(sb.String(), "rx-") {
+		t.Error("filter let reception events through")
+	}
+	if !strings.Contains(sb.String(), "tx-agg") {
+		t.Error("filter dropped transmissions")
+	}
+}
+
+func TestFormatCoversAllKinds(t *testing.T) {
+	kinds := []string{"tx-ctrl", "tx-agg", "rx-ctrl", "rx-agg", "collision", "ctrl-noise", "half-duplex"}
+	for _, k := range kinds {
+		line := Format(medium.Event{Kind: k, Src: 1, Dst: 2, Info: "x"})
+		if line == "" || !strings.Contains(line, "node1") {
+			t.Errorf("kind %q formats badly: %q", k, line)
+		}
+	}
+}
