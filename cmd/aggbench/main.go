@@ -1,13 +1,21 @@
 // Command aggbench regenerates the paper's evaluation: every table and
 // figure of "Improving the Performance of Multi-hop Wireless Networks using
 // Frame Aggregation and Broadcast for TCP ACKs" (Kim et al., CoNEXT 2008),
-// printed as aligned text tables.
+// printed as aligned text tables, JSON, or CSV.
+//
+// Each experiment's independent simulation runs are fanned across a worker
+// pool (internal/runner); output is bit-identical at any worker count, so
+// -parallel only changes wall-clock time.
 //
 // Usage:
 //
-//	aggbench                 # run everything (paper order)
+//	aggbench                 # run everything (paper order), GOMAXPROCS workers
 //	aggbench -exp fig11      # one experiment
 //	aggbench -seed 7 -quick  # shorter UDP windows, different seed
+//	aggbench -parallel 1     # force serial execution
+//	aggbench -json > e.json  # machine-readable output
+//	aggbench -csv  > e.csv
+//	aggbench -progress       # per-run progress lines on stderr
 //	aggbench -list           # list experiment names
 package main
 
@@ -18,14 +26,19 @@ import (
 	"time"
 
 	"aggmac/internal/experiments"
+	"aggmac/internal/runner"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment to run (empty = all); see -list")
-		seed  = flag.Int64("seed", 1, "simulation seed")
-		quick = flag.Bool("quick", false, "shorter UDP measurement windows")
-		list  = flag.Bool("list", false, "list experiment names and exit")
+		exp      = flag.String("exp", "", "experiment to run (empty = all); see -list")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		quick    = flag.Bool("quick", false, "shorter UDP measurement windows")
+		parallel = flag.Int("parallel", 0, "concurrent simulation workers (0 = GOMAXPROCS, 1 = serial)")
+		jsonOut  = flag.Bool("json", false, "emit tables as a JSON array")
+		csvOut   = flag.Bool("csv", false, "emit tables as CSV")
+		progress = flag.Bool("progress", false, "report each completed run on stderr")
+		list     = flag.Bool("list", false, "list experiment names and exit")
 	)
 	flag.Parse()
 
@@ -36,8 +49,19 @@ func main() {
 		}
 		return
 	}
+	if *jsonOut && *csvOut {
+		fmt.Fprintln(os.Stderr, "aggbench: -json and -csv are mutually exclusive")
+		os.Exit(2)
+	}
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Workers: *parallel}
+	if *progress {
+		opts.Progress = runner.StderrProgress
+	}
+
+	// JSON/CSV need the whole set before encoding; text mode prints each
+	// table as soon as its runs finish.
+	var tables []experiments.Table
 	ran := 0
 	start := time.Now()
 	for _, e := range all {
@@ -45,12 +69,31 @@ func main() {
 			continue
 		}
 		t := e.Run(opts)
-		fmt.Println(t.Format())
 		ran++
+		if *jsonOut || *csvOut {
+			tables = append(tables, t)
+		} else {
+			fmt.Println(t.Format())
+		}
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "aggbench: unknown experiment %q (try -list)\n", *exp)
 		os.Exit(2)
 	}
-	fmt.Printf("regenerated %d experiment(s) in %v (wall clock)\n", ran, time.Since(start).Round(time.Millisecond))
+
+	switch {
+	case *jsonOut:
+		if err := experiments.WriteJSON(os.Stdout, tables); err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(1)
+		}
+	case *csvOut:
+		if err := experiments.WriteCSV(os.Stdout, tables); err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Printf("regenerated %d experiment(s) in %v (wall clock)\n",
+			ran, time.Since(start).Round(time.Millisecond))
+	}
 }

@@ -1,5 +1,8 @@
-// Command aggsim runs a single configured experiment on the aggregation
-// MAC simulator and prints throughput plus per-node detail.
+// Command aggsim runs configured experiments on the aggregation MAC
+// simulator. With scalar flags it runs one sim and prints throughput plus
+// per-node detail; give any of -scheme, -rate, or -hops a comma-separated
+// list (or set -reps > 1) and it fans the whole parameter grid across a
+// worker pool, with per-run seeds derived deterministically from -seed.
 //
 // Examples:
 //
@@ -7,19 +10,25 @@
 //	aggsim -traffic tcp -scheme dba -star -file 200000
 //	aggsim -traffic udp -scheme na -rate 0.65 -hops 2 -flood 1s
 //	aggsim -traffic udp -scheme ba -hops 1 -agg 8192   # past the cliff
+//	aggsim -traffic tcp -scheme na,ua,ba,dba -rate 0.65,1.3,1.95,2.6 -hops 1,2,3,4
+//	aggsim -traffic udp -scheme ba -rate 1.3 -hops 2 -reps 8 -csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"aggmac/internal/core"
+	"aggmac/internal/experiments"
 	"aggmac/internal/mac"
 	"aggmac/internal/phy"
+	"aggmac/internal/runner"
 )
 
 func schemeByName(name string) (mac.Scheme, error) {
@@ -36,14 +45,54 @@ func schemeByName(name string) (mac.Scheme, error) {
 	return mac.Scheme{}, fmt.Errorf("unknown scheme %q (na|ua|ba|dba)", name)
 }
 
+func parseSchemes(list string) ([]mac.Scheme, error) {
+	var out []mac.Scheme
+	for _, s := range strings.Split(list, ",") {
+		sch, err := schemeByName(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sch)
+	}
+	return out, nil
+}
+
+func parseRates(list string) ([]phy.Rate, error) {
+	var out []phy.Rate
+	for _, s := range strings.Split(list, ",") {
+		mbps, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %v", s, err)
+		}
+		r, err := phy.RateFromMbps(mbps)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func parseHops(list string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(list, ",") {
+		h, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || h < 1 {
+			return nil, fmt.Errorf("bad hop count %q", s)
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}
+
 func main() {
 	var (
 		traffic  = flag.String("traffic", "tcp", "tcp or udp")
-		scheme   = flag.String("scheme", "ba", "na | ua | ba | dba")
-		rateMbps = flag.Float64("rate", 1.3, "PHY data rate in Mbps (0.65|1.3|1.95|2.6|...)")
+		scheme   = flag.String("scheme", "ba", "scheme or comma list: na | ua | ba | dba")
+		rateList = flag.String("rate", "1.3", "PHY data rate in Mbps (0.65|1.3|1.95|2.6|...) or comma list")
 		bcRate   = flag.Float64("bcast-rate", 0, "fixed broadcast-portion rate in Mbps (0 = same as unicast)")
-		hops     = flag.Int("hops", 2, "linear chain hop count")
-		star     = flag.Bool("star", false, "use the 2-session star topology (TCP only)")
+		hopsList = flag.String("hops", "2", "linear chain hop count or comma list")
+		star     = flag.Bool("star", false, "use the 2-session star topology (TCP only, no sweep)")
 		file     = flag.Int("file", core.PaperFileBytes, "TCP transfer size in bytes")
 		agg      = flag.Int("agg", 5120, "maximum aggregation size in bytes")
 		noFwd    = flag.Bool("no-forward-agg", false, "disable forward aggregation (Fig 14)")
@@ -51,46 +100,177 @@ func main() {
 		autoAgg  = flag.Bool("auto-agg", false, "rate-adaptive aggregation size extension")
 		flood    = flag.Duration("flood", 0, "flooding interval per node (UDP only; 0 = off)")
 		dur      = flag.Duration("dur", 40*time.Second, "UDP measurement duration")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		verbose  = flag.Bool("v", false, "print per-node detail")
-		doTrace  = flag.Bool("trace", false, "stream the channel timeline to stderr")
+		seed     = flag.Int64("seed", 1, "simulation seed (sweep: base seed for per-run derivation)")
+		reps     = flag.Int("reps", 1, "seed replications per sweep point (>1 forces sweep mode)")
+		parallel = flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "sweep: emit the result table as JSON")
+		csvOut   = flag.Bool("csv", false, "sweep: emit the result table as CSV")
+		progress = flag.Bool("progress", false, "sweep: report each completed run on stderr")
+		verbose  = flag.Bool("v", false, "print per-node detail (single run)")
+		doTrace  = flag.Bool("trace", false, "stream the channel timeline to stderr (single run)")
 	)
 	flag.Parse()
-	var traceTo io.Writer
-	if *doTrace {
-		traceTo = os.Stderr
+
+	schemes, err := parseSchemes(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	rates, err := parseRates(*rateList)
+	if err != nil {
+		fatal(err)
+	}
+	hops, err := parseHops(*hopsList)
+	if err != nil {
+		fatal(err)
+	}
+	if *traffic != "tcp" && *traffic != "udp" {
+		fatal(fmt.Errorf("unknown traffic %q (tcp|udp)", *traffic))
+	}
+	if *jsonOut && *csvOut {
+		fatal(fmt.Errorf("-json and -csv are mutually exclusive"))
 	}
 
-	sch, err := schemeByName(*scheme)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "aggsim:", err)
-		os.Exit(2)
-	}
-	sch.DisableForwardAggregation = *noFwd
-	rate, err := phy.RateFromMbps(*rateMbps)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "aggsim:", err)
-		os.Exit(2)
-	}
-
-	switch *traffic {
-	case "tcp":
-		cfg := core.TCPConfig{
-			Scheme: sch, Rate: rate, Hops: *hops, Star: *star,
-			FileBytes: *file, MaxAggBytes: *agg, Seed: *seed,
-			BlockAck: *blockAck, AutoAggSize: *autoAgg,
-			TraceTo: traceTo,
+	if len(schemes)*len(rates)*len(hops) > 1 || *reps > 1 {
+		if *star {
+			fatal(fmt.Errorf("-star cannot be combined with a parameter sweep"))
 		}
+		var fixedBC *phy.Rate
 		if *bcRate > 0 {
 			br, err := phy.RateFromMbps(*bcRate)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "aggsim:", err)
-				os.Exit(2)
+				fatal(err)
+			}
+			fixedBC = &br
+		}
+		runSweep(sweepArgs{
+			traffic: *traffic, schemes: schemes, rates: rates, hops: hops,
+			reps: *reps, seed: *seed, agg: *agg, file: *file, dur: *dur,
+			flood: *flood, parallel: *parallel,
+			noFwd: *noFwd, blockAck: *blockAck, autoAgg: *autoAgg, bcRate: fixedBC,
+			jsonOut: *jsonOut, csvOut: *csvOut, progress: *progress,
+		})
+		return
+	}
+
+	if *jsonOut || *csvOut {
+		fatal(fmt.Errorf("-json/-csv require a parameter sweep (comma-list -scheme/-rate/-hops or -reps > 1)"))
+	}
+	runSingle(singleArgs{
+		traffic: *traffic, scheme: schemes[0], rate: rates[0], hops: hops[0],
+		star: *star, file: *file, agg: *agg, noFwd: *noFwd,
+		blockAck: *blockAck, autoAgg: *autoAgg, flood: *flood, dur: *dur,
+		seed: *seed, bcRate: *bcRate, verbose: *verbose, doTrace: *doTrace,
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aggsim:", err)
+	os.Exit(2)
+}
+
+type sweepArgs struct {
+	traffic           string
+	schemes           []mac.Scheme
+	rates             []phy.Rate
+	hops              []int
+	reps              int
+	seed              int64
+	agg, file         int
+	dur, flood        time.Duration
+	parallel          int
+	noFwd             bool
+	blockAck, autoAgg bool
+	bcRate            *phy.Rate
+	jsonOut, csvOut   bool
+	progress          bool
+}
+
+func runSweep(a sweepArgs) {
+	sw := runner.Sweep{
+		Traffic: a.traffic, Schemes: a.schemes, Rates: a.rates, Hops: a.hops,
+		Reps: a.reps, BaseSeed: a.seed,
+		MaxAggBytes: a.agg, FileBytes: a.file,
+		Duration: a.dur, FloodInterval: a.flood,
+		NoForwardAgg: a.noFwd, BlockAck: a.blockAck, AutoAggSize: a.autoAgg,
+		FixedBroadcastRate: a.bcRate,
+	}
+	specs := sw.Specs()
+	pool := runner.Pool{Workers: a.parallel}
+	if a.progress {
+		pool.OnResult = runner.StderrProgress
+	}
+	start := time.Now()
+	results, err := pool.Run(context.Background(), specs)
+	if err != nil {
+		fatal(err)
+	}
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "aggsim: run %s failed: %v\n", r.Key, r.Err)
+		}
+	}
+	tab := experiments.SweepTable(sw, results)
+	switch {
+	case a.jsonOut:
+		if err := experiments.WriteJSON(os.Stdout, []experiments.Table{tab}); err != nil {
+			fatal(err)
+		}
+	case a.csvOut:
+		if err := experiments.WriteCSV(os.Stdout, []experiments.Table{tab}); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Print(tab.Format())
+		fmt.Printf("swept %d run(s) in %v (wall clock)\n", len(specs), time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "aggsim: %d of %d runs failed\n", failed, len(specs))
+		os.Exit(1)
+	}
+}
+
+type singleArgs struct {
+	traffic           string
+	scheme            mac.Scheme
+	rate              phy.Rate
+	hops              int
+	star              bool
+	file, agg         int
+	noFwd             bool
+	blockAck, autoAgg bool
+	flood, dur        time.Duration
+	seed              int64
+	bcRate            float64
+	verbose, doTrace  bool
+}
+
+func runSingle(a singleArgs) {
+	var traceTo io.Writer
+	if a.doTrace {
+		traceTo = os.Stderr
+	}
+	sch := a.scheme
+	sch.DisableForwardAggregation = a.noFwd
+
+	switch a.traffic {
+	case "tcp":
+		cfg := core.TCPConfig{
+			Scheme: sch, Rate: a.rate, Hops: a.hops, Star: a.star,
+			FileBytes: a.file, MaxAggBytes: a.agg, Seed: a.seed,
+			BlockAck: a.blockAck, AutoAggSize: a.autoAgg,
+			TraceTo: traceTo,
+		}
+		if a.bcRate > 0 {
+			br, err := phy.RateFromMbps(a.bcRate)
+			if err != nil {
+				fatal(err)
 			}
 			cfg.FixedBroadcastRate = &br
 		}
 		res := core.RunTCP(cfg)
-		fmt.Printf("scheme=%s rate=%v topology=%s\n", sch.Name(), rate, topoName(*hops, *star))
+		fmt.Printf("scheme=%s rate=%v topology=%s\n", sch.Name(), a.rate, topoName(a.hops, a.star))
 		for i, m := range res.SessionMbps {
 			fmt.Printf("session %d: %.3f Mbps (done=%v)\n", i, m, res.Sessions[i].Done)
 		}
@@ -99,7 +279,7 @@ func main() {
 		if !res.Completed {
 			fmt.Println("WARNING: not all sessions completed before the deadline")
 		}
-		if *verbose {
+		if a.verbose {
 			printNodes(res.Nodes)
 			for i, s := range res.Sessions {
 				fmt.Printf("session %d sender: sent=%d rtx=%d fastRtx=%d timeouts=%d\n",
@@ -108,21 +288,18 @@ func main() {
 		}
 	case "udp":
 		res := core.RunUDP(core.UDPConfig{
-			Scheme: sch, Rate: rate, Hops: *hops, MaxAggBytes: *agg,
-			FloodInterval: *flood, Duration: *dur, Seed: *seed,
+			Scheme: sch, Rate: a.rate, Hops: a.hops, MaxAggBytes: a.agg,
+			FloodInterval: a.flood, Duration: a.dur, Seed: a.seed,
 			TraceTo: traceTo,
 		})
-		fmt.Printf("scheme=%s rate=%v hops=%d flood=%v\n", sch.Name(), rate, *hops, *flood)
+		fmt.Printf("scheme=%s rate=%v hops=%d flood=%v\n", sch.Name(), a.rate, a.hops, a.flood)
 		fmt.Printf("goodput: %.3f Mbps (%d packets delivered)\n", res.ThroughputMbps, res.SinkPackets)
-		if *flood > 0 {
+		if a.flood > 0 {
 			fmt.Printf("flooding: %d sent, %d received\n", res.FloodsSent, res.FloodsRcvd)
 		}
-		if *verbose {
+		if a.verbose {
 			printNodes(res.Nodes)
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "aggsim: unknown traffic %q (tcp|udp)\n", *traffic)
-		os.Exit(2)
 	}
 }
 

@@ -1,0 +1,3 @@
+module aggmac
+
+go 1.24

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV renders the table as RFC-4180 text: a header row of "label" plus the
+// column names, then one record per row. Values keep full float precision
+// so CSV output round-trips where Format's 3-decimal text does not.
+func (t Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	header := append([]string{"label"}, t.Columns...)
+	_ = w.Write(header)
+	for _, r := range t.Rows {
+		rec := make([]string, 0, 1+len(r.Values))
+		rec = append(rec, r.Label)
+		for _, v := range r.Values {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		_ = w.Write(rec)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// WriteJSON encodes tables as an indented JSON array.
+func WriteJSON(w io.Writer, tables []Table) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tables)
+}
+
+// WriteCSV writes each table as an identifying comment line followed by
+// its CSV records, with a blank line between tables. Notes — including
+// SweepTable's missing-runs disclaimer — survive as a trailing comment.
+func WriteCSV(w io.Writer, tables []Table) error {
+	for i, t := range tables {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# %s — %s\n%s", t.ID, t.Title, t.CSV()); err != nil {
+			return err
+		}
+		if t.Notes != "" {
+			if _, err := fmt.Fprintf(w, "# note: %s\n", t.Notes); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

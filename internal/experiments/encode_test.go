@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"aggmac/internal/mac"
+	"aggmac/internal/phy"
+	"aggmac/internal/runner"
+)
+
+var demo = Table{
+	ID: "Table X", Title: "demo",
+	Columns: []string{"a", "b"},
+	Rows: []Row{
+		{Label: "row1", Values: []float64{1.5, 2.25}},
+		{Label: "row,2", Values: []float64{0.1234567890123, 3}},
+	},
+	Notes: "a note",
+}
+
+func TestCSVEncoding(t *testing.T) {
+	out := demo.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), out)
+	}
+	if lines[0] != "label,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], `"row,2"`) {
+		t.Errorf("comma in label not quoted: %q", lines[2])
+	}
+	// Full precision survives, unlike Format's 3-decimal text.
+	if !strings.Contains(lines[2], "0.1234567890123") {
+		t.Errorf("value precision lost: %q", lines[2])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, []Table{demo}); err != nil {
+		t.Fatal(err)
+	}
+	var back []Table
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("JSON does not parse: %v", err)
+	}
+	if len(back) != 1 || back[0].ID != demo.ID || len(back[0].Rows) != 2 ||
+		back[0].Rows[1].Values[0] != demo.Rows[1].Values[0] {
+		t.Errorf("round trip mangled the table: %+v", back)
+	}
+}
+
+func TestWriteCSVMultipleTables(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, []Table{demo, demo}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "# Table X — demo"); got != 2 {
+		t.Errorf("%d table headers, want 2:\n%s", got, b.String())
+	}
+	if !strings.Contains(b.String(), "\n\n#") {
+		t.Error("tables not separated by a blank line")
+	}
+}
+
+// TestSweepTable runs a real miniature sweep end-to-end: grid → pool →
+// table, with replications averaged per cell.
+func TestSweepTable(t *testing.T) {
+	sw := runner.Sweep{
+		Traffic: "udp",
+		Schemes: []mac.Scheme{mac.NA, mac.BA},
+		Rates:   []phy.Rate{phy.Rate1300k},
+		Hops:    []int{1, 2},
+		Reps:    2, BaseSeed: 7,
+		Duration: 5 * time.Second,
+	}
+	specs := sw.Specs()
+	pool := runner.Pool{Workers: 4}
+	res, err := pool.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := SweepTable(sw, res)
+	if len(tab.Rows) != 4 || len(tab.Columns) != 1 {
+		t.Fatalf("sweep table shape %d×%d, want 4×1", len(tab.Rows), len(tab.Columns))
+	}
+	want := []string{"1-hop NA", "2-hop NA", "1-hop BA", "2-hop BA"}
+	for i, r := range tab.Rows {
+		if r.Label != want[i] {
+			t.Errorf("row %d label %q, want %q", i, r.Label, want[i])
+		}
+		if r.Values[0] <= 0 {
+			t.Errorf("row %q: non-positive mean throughput %v", r.Label, r.Values[0])
+		}
+	}
+	// 1-hop beats 2-hop for each scheme; BA beats NA per hop count.
+	if !(tab.Rows[0].Values[0] > tab.Rows[1].Values[0]) {
+		t.Error("NA: 1-hop not above 2-hop")
+	}
+	if !(tab.Rows[2].Values[0] > tab.Rows[0].Values[0]) {
+		t.Error("BA 1-hop not above NA 1-hop")
+	}
+	if tab.Notes != "" {
+		t.Errorf("unexpected notes on a clean sweep: %q", tab.Notes)
+	}
+}
+
+// TestSweepTableSkipsFailedRuns feeds the aggregator a result set with one
+// missing run and checks the affected cell averages the survivors.
+func TestSweepTableSkipsFailedRuns(t *testing.T) {
+	sw := runner.Sweep{
+		Traffic: "udp",
+		Schemes: []mac.Scheme{mac.NA},
+		Rates:   []phy.Rate{phy.Rate1300k},
+		Hops:    []int{1},
+		Reps:    2, BaseSeed: 7,
+		Duration: 5 * time.Second,
+	}
+	pool := runner.Pool{Workers: 1}
+	res, err := pool.Run(context.Background(), sw.Specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := res[1].ThroughputMbps()
+	res[0] = runner.Result{Index: 0, Key: res[0].Key, Err: context.Canceled}
+	tab := SweepTable(sw, res)
+	if tab.Rows[0].Values[0] != good {
+		t.Errorf("cell = %v, want the surviving rep's %v", tab.Rows[0].Values[0], good)
+	}
+	if !strings.Contains(tab.Notes, "1 of 2 runs missing") {
+		t.Errorf("notes do not report the gap: %q", tab.Notes)
+	}
+}

@@ -1,6 +1,7 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (§6). Each function runs the corresponding experiment on the
-// simulator and returns a structured Table whose rows mirror what the paper
+// evaluation (§6). Each function declares the corresponding experiment's
+// run matrix as data, delegates execution to the internal/runner worker
+// pool, and assembles a structured Table whose rows mirror what the paper
 // reports; cmd/aggbench prints them and bench_test.go wraps them as
 // benchmarks.
 //
@@ -8,9 +9,15 @@
 // testbed, so they differ from the paper's; the shapes — who wins, by
 // roughly what factor, where crossovers fall — are the reproduction target
 // (see EXPERIMENTS.md for the side-by-side record).
+//
+// Execution is deterministic by construction: every run's seed and config
+// are fixed when the matrix is declared, the runner returns results in
+// matrix order, and table assembly consumes them in that order — so the
+// same Options produce byte-identical tables at any worker count.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -18,6 +25,7 @@ import (
 	"aggmac/internal/core"
 	"aggmac/internal/mac"
 	"aggmac/internal/phy"
+	"aggmac/internal/runner"
 )
 
 // Row is one labeled series of values.
@@ -32,7 +40,7 @@ type Table struct {
 	Title   string
 	Columns []string
 	Rows    []Row
-	Notes   string
+	Notes   string `json:",omitempty"`
 }
 
 // Options tune a regeneration run.
@@ -40,6 +48,12 @@ type Options struct {
 	Seed int64
 	// Quick shortens UDP measurement windows (for benchmarks).
 	Quick bool
+	// Workers caps how many simulations run concurrently; 0 means
+	// GOMAXPROCS, 1 forces serial execution. The resulting tables are
+	// identical at any setting — only wall-clock time changes.
+	Workers int
+	// Progress, when set, receives one callback per completed run.
+	Progress func(runner.Progress)
 }
 
 func (o Options) udpDur() time.Duration {
@@ -82,9 +96,65 @@ func rateCols() []string {
 	return cols
 }
 
-// tcpTput runs one TCP experiment and returns throughput in Mbps.
-func tcpTput(cfg core.TCPConfig) float64 {
-	return core.RunTCP(cfg).ThroughputMbps
+// plan accumulates an experiment's run matrix alongside per-run sinks that
+// assemble the table. The runner may execute runs in any order across any
+// number of workers; sinks then fire strictly in declaration order, so
+// assembly — including cross-run baselines like Table 3's NA row — stays
+// deterministic.
+type plan struct {
+	specs []runner.Spec
+	sinks []func(runner.Result)
+}
+
+func (p *plan) tcp(key string, cfg core.TCPConfig, sink func(core.TCPResult)) {
+	p.specs = append(p.specs, runner.Spec{Key: key, TCP: &cfg})
+	p.sinks = append(p.sinks, func(r runner.Result) { sink(*r.TCP) })
+}
+
+func (p *plan) udp(key string, cfg core.UDPConfig, sink func(core.UDPResult)) {
+	p.specs = append(p.specs, runner.Spec{Key: key, UDP: &cfg})
+	p.sinks = append(p.sinks, func(r runner.Result) { sink(*r.UDP) })
+}
+
+// run executes the accumulated matrix and dispatches sinks in order. A run
+// that fails (sim panic) propagates as a panic, matching what the old
+// serial loops would have done.
+func (p *plan) run(o Options) {
+	pool := runner.Pool{Workers: o.Workers, OnResult: o.Progress}
+	res, err := pool.Run(context.Background(), p.specs)
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			panic(r.Err)
+		}
+		p.sinks[i](r)
+	}
+}
+
+// tcpRow declares one row of a TCP rate sweep: the label plus the config
+// shared by every column (Rate and Seed are filled per cell).
+type tcpRow struct {
+	label string
+	cfg   core.TCPConfig
+}
+
+// addTCPRateRows appends one table row per declared row, sweeping
+// experimentRates as columns of end-to-end throughput.
+func addTCPRateRows(p *plan, t *Table, o Options, id string, rows []tcpRow) {
+	for _, row := range rows {
+		ri := len(t.Rows)
+		t.Rows = append(t.Rows, Row{Label: row.label})
+		for _, rate := range experimentRates {
+			cfg := row.cfg
+			cfg.Rate = rate
+			cfg.Seed = o.Seed
+			p.tcp(fmt.Sprintf("%s/%s/%s", id, row.label, rate), cfg, func(r core.TCPResult) {
+				t.Rows[ri].Values = append(t.Rows[ri].Values, r.ThroughputMbps)
+			})
+		}
+	}
 }
 
 // Figure7 sweeps the maximum aggregation size on 1-hop UDP at three rates
@@ -100,17 +170,20 @@ func Figure7(o Options) Table {
 	for _, s := range sizes {
 		t.Columns = append(t.Columns, fmt.Sprintf("%dK", s/1024))
 	}
+	var p plan
 	for _, rate := range []phy.Rate{phy.Rate650k, phy.Rate1300k, phy.Rate1950k} {
-		row := Row{Label: rate.String()}
+		ri := len(t.Rows)
+		t.Rows = append(t.Rows, Row{Label: rate.String()})
 		for _, s := range sizes {
-			r := core.RunUDP(core.UDPConfig{
+			p.udp(fmt.Sprintf("fig7/%s/%dK", rate, s/1024), core.UDPConfig{
 				Scheme: mac.BA, Rate: rate, Hops: 1,
 				MaxAggBytes: s, Seed: o.Seed, Duration: o.udpDur(),
+			}, func(r core.UDPResult) {
+				t.Rows[ri].Values = append(t.Rows[ri].Values, r.ThroughputMbps)
 			})
-			row.Values = append(row.Values, r.ThroughputMbps)
 		}
-		t.Rows = append(t.Rows, row)
 	}
+	p.run(o)
 	return t
 }
 
@@ -123,13 +196,22 @@ func Table2(o Options) Table {
 		Columns: []string{"NoAgg", "UnicastAgg", "Diff%"},
 		Notes:   "paper: 0.253/0.273 (+7.9%) at 0.65; 0.430/0.481 (+11.9%) at 1.3",
 	}
+	var p plan
 	for _, rate := range []phy.Rate{phy.Rate650k, phy.Rate1300k} {
-		na := core.RunUDP(core.UDPConfig{Scheme: mac.NA, Rate: rate, Hops: 2, Seed: o.Seed, Duration: o.udpDur()})
-		ua := core.RunUDP(core.UDPConfig{Scheme: mac.UA, Rate: rate, Hops: 2, Seed: o.Seed, Duration: o.udpDur()})
-		diff := 100 * (ua.ThroughputMbps - na.ThroughputMbps) / na.ThroughputMbps
-		t.Rows = append(t.Rows, Row{Label: rate.String(),
-			Values: []float64{na.ThroughputMbps, ua.ThroughputMbps, diff}})
+		ri := len(t.Rows)
+		t.Rows = append(t.Rows, Row{Label: rate.String()})
+		var na float64
+		p.udp(fmt.Sprintf("table2/NA/%s", rate),
+			core.UDPConfig{Scheme: mac.NA, Rate: rate, Hops: 2, Seed: o.Seed, Duration: o.udpDur()},
+			func(r core.UDPResult) { na = r.ThroughputMbps })
+		p.udp(fmt.Sprintf("table2/UA/%s", rate),
+			core.UDPConfig{Scheme: mac.UA, Rate: rate, Hops: 2, Seed: o.Seed, Duration: o.udpDur()},
+			func(r core.UDPResult) {
+				ua := r.ThroughputMbps
+				t.Rows[ri].Values = []float64{na, ua, 100 * (ua - na) / na}
+			})
 	}
+	p.run(o)
 	return t
 }
 
@@ -142,16 +224,18 @@ func Figure8(o Options) Table {
 		Columns: rateCols(),
 		Notes:   "improvement grows with rate and holds on both chain lengths",
 	}
+	var rows []tcpRow
 	for _, hops := range []int{2, 3} {
 		for _, scheme := range []mac.Scheme{mac.NA, mac.UA} {
-			row := Row{Label: fmt.Sprintf("%d-hop %s", hops, scheme.Name())}
-			for _, rate := range experimentRates {
-				row.Values = append(row.Values, tcpTput(core.TCPConfig{
-					Scheme: scheme, Rate: rate, Hops: hops, Seed: o.Seed}))
-			}
-			t.Rows = append(t.Rows, row)
+			rows = append(rows, tcpRow{
+				label: fmt.Sprintf("%d-hop %s", hops, scheme.Name()),
+				cfg:   core.TCPConfig{Scheme: scheme, Hops: hops},
+			})
 		}
 	}
+	var p plan
+	addTCPRateRows(&p, &t, o, "fig8", rows)
+	p.run(o)
 	return t
 }
 
@@ -172,21 +256,26 @@ func Figure9(o Options) Table {
 	for _, iv := range intervals {
 		t.Columns = append(t.Columns, fmt.Sprintf("%.2fs", iv.Seconds()))
 	}
+	var p plan
 	for _, rate := range []phy.Rate{phy.Rate650k, phy.Rate1300k} {
 		for _, scheme := range []mac.Scheme{mac.NA, mac.BA} {
 			label := "NoAgg"
 			if scheme.AggregateBroadcast {
 				label = "Agg"
 			}
-			row := Row{Label: fmt.Sprintf("%s %s", rate, label)}
+			ri := len(t.Rows)
+			t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%s %s", rate, label)})
 			for _, iv := range intervals {
-				r := core.RunUDP(core.UDPConfig{Scheme: scheme, Rate: rate, Hops: 2,
-					FloodInterval: iv, Seed: o.Seed, Duration: o.udpDur()})
-				row.Values = append(row.Values, r.ThroughputMbps)
+				p.udp(fmt.Sprintf("fig9/%s/%s/%v", rate, label, iv),
+					core.UDPConfig{Scheme: scheme, Rate: rate, Hops: 2,
+						FloodInterval: iv, Seed: o.Seed, Duration: o.udpDur()},
+					func(r core.UDPResult) {
+						t.Rows[ri].Values = append(t.Rows[ri].Values, r.ThroughputMbps)
+					})
 			}
-			t.Rows = append(t.Rows, row)
 		}
 	}
+	p.run(o)
 	return t
 }
 
@@ -199,21 +288,17 @@ func Figure10(o Options) Table {
 		Columns: rateCols(),
 		Notes:   "BA(0.65) falls off at high unicast rates; BA(2.6) always wins",
 	}
+	var rows []tcpRow
 	for _, br := range []phy.Rate{phy.Rate650k, phy.Rate1300k, phy.Rate2600k} {
-		br := br
-		row := Row{Label: fmt.Sprintf("BA(bcast %s)", br)}
-		for _, rate := range experimentRates {
-			row.Values = append(row.Values, tcpTput(core.TCPConfig{
-				Scheme: mac.BA, Rate: rate, FixedBroadcastRate: &br, Hops: 2, Seed: o.Seed}))
-		}
-		t.Rows = append(t.Rows, row)
+		rows = append(rows, tcpRow{
+			label: fmt.Sprintf("BA(bcast %s)", br),
+			cfg:   core.TCPConfig{Scheme: mac.BA, FixedBroadcastRate: &br, Hops: 2},
+		})
 	}
-	row := Row{Label: "UA"}
-	for _, rate := range experimentRates {
-		row.Values = append(row.Values, tcpTput(core.TCPConfig{
-			Scheme: mac.UA, Rate: rate, Hops: 2, Seed: o.Seed}))
-	}
-	t.Rows = append(t.Rows, row)
+	rows = append(rows, tcpRow{label: "UA", cfg: core.TCPConfig{Scheme: mac.UA, Hops: 2}})
+	var p plan
+	addTCPRateRows(&p, &t, o, "fig10", rows)
+	p.run(o)
 	return t
 }
 
@@ -226,14 +311,13 @@ func Figure11(o Options) Table {
 		Columns: rateCols(),
 		Notes:   "paper reports a maximum BA-over-UA gap of 10%",
 	}
+	var rows []tcpRow
 	for _, scheme := range []mac.Scheme{mac.NA, mac.UA, mac.BA} {
-		row := Row{Label: scheme.Name()}
-		for _, rate := range experimentRates {
-			row.Values = append(row.Values, tcpTput(core.TCPConfig{
-				Scheme: scheme, Rate: rate, Hops: 2, Seed: o.Seed}))
-		}
-		t.Rows = append(t.Rows, row)
+		rows = append(rows, tcpRow{label: scheme.Name(), cfg: core.TCPConfig{Scheme: scheme, Hops: 2}})
 	}
+	var p plan
+	addTCPRateRows(&p, &t, o, "fig11", rows)
+	p.run(o)
 	return t
 }
 
@@ -246,22 +330,22 @@ func Figure12(o Options) Table {
 		Columns: rateCols(),
 		Notes:   "paper: BA-UA gap 12.2% at 3 hops, 11% on the star",
 	}
+	var rows []tcpRow
 	for _, scheme := range []mac.Scheme{mac.NA, mac.UA, mac.BA} {
-		row := Row{Label: "3-hop " + scheme.Name()}
-		for _, rate := range experimentRates {
-			row.Values = append(row.Values, tcpTput(core.TCPConfig{
-				Scheme: scheme, Rate: rate, Hops: 3, Seed: o.Seed}))
-		}
-		t.Rows = append(t.Rows, row)
+		rows = append(rows, tcpRow{
+			label: "3-hop " + scheme.Name(),
+			cfg:   core.TCPConfig{Scheme: scheme, Hops: 3},
+		})
 	}
 	for _, scheme := range []mac.Scheme{mac.UA, mac.BA} {
-		row := Row{Label: "star " + scheme.Name()}
-		for _, rate := range experimentRates {
-			row.Values = append(row.Values, tcpTput(core.TCPConfig{
-				Scheme: scheme, Rate: rate, Star: true, Seed: o.Seed}))
-		}
-		t.Rows = append(t.Rows, row)
+		rows = append(rows, tcpRow{
+			label: "star " + scheme.Name(),
+			cfg:   core.TCPConfig{Scheme: scheme, Star: true},
+		})
 	}
+	var p plan
+	addTCPRateRows(&p, &t, o, "fig12", rows)
+	p.run(o)
 	return t
 }
 
@@ -274,16 +358,18 @@ func Figure13(o Options) Table {
 		Columns: rateCols(),
 		Notes:   "paper found DBA ≈ BA (max +2%/+4%); 'smaller than we expected'",
 	}
+	var rows []tcpRow
 	for _, hops := range []int{2, 3} {
 		for _, scheme := range []mac.Scheme{mac.BA, mac.DBA} {
-			row := Row{Label: fmt.Sprintf("%d-hop %s", hops, scheme.Name())}
-			for _, rate := range experimentRates {
-				row.Values = append(row.Values, tcpTput(core.TCPConfig{
-					Scheme: scheme, Rate: rate, Hops: hops, Seed: o.Seed}))
-			}
-			t.Rows = append(t.Rows, row)
+			rows = append(rows, tcpRow{
+				label: fmt.Sprintf("%d-hop %s", hops, scheme.Name()),
+				cfg:   core.TCPConfig{Scheme: scheme, Hops: hops},
+			})
 		}
 	}
+	var p plan
+	addTCPRateRows(&p, &t, o, "fig13", rows)
+	p.run(o)
 	return t
 }
 
@@ -298,24 +384,21 @@ func Figure14(o Options) Table {
 		Columns: rateCols(),
 		Notes:   "BA-vs-noFwd gap grows with rate: forward aggregation matters more at speed",
 	}
-	schemes := []struct {
-		label  string
-		scheme mac.Scheme
-	}{{"NA", mac.NA}, {"BA w/o fwd", noFwd}, {"BA", mac.BA}}
-	for _, s := range schemes {
-		row := Row{Label: s.label}
-		for _, rate := range experimentRates {
-			row.Values = append(row.Values, tcpTput(core.TCPConfig{
-				Scheme: s.scheme, Rate: rate, Hops: 3, Seed: o.Seed}))
-		}
-		t.Rows = append(t.Rows, row)
+	rows := []tcpRow{
+		{label: "NA", cfg: core.TCPConfig{Scheme: mac.NA, Hops: 3}},
+		{label: "BA w/o fwd", cfg: core.TCPConfig{Scheme: noFwd, Hops: 3}},
+		{label: "BA", cfg: core.TCPConfig{Scheme: mac.BA, Hops: 3}},
 	}
+	var p plan
+	addTCPRateRows(&p, &t, o, "fig14", rows)
+	p.run(o)
 	return t
 }
 
-// relayFor runs a 2-hop TCP experiment and returns the relay report.
-func relayFor(scheme mac.Scheme, rate phy.Rate, seed int64) core.NodeReport {
-	return core.Relay(core.RunTCP(core.TCPConfig{Scheme: scheme, Rate: rate, Hops: 2, Seed: seed}).Nodes)
+// relayCfg is the 2-hop TCP run whose relay row feeds the detail tables
+// (the paper measures Tables 3–8 at relays).
+func relayCfg(scheme mac.Scheme, rate phy.Rate, seed int64) core.TCPConfig {
+	return core.TCPConfig{Scheme: scheme, Rate: rate, Hops: 2, Seed: seed}
 }
 
 var detailRate = phy.Rate2600k // rate used for the detail tables
@@ -329,19 +412,23 @@ func Table3(o Options) Table {
 		Columns: []string{"FrameB", "TX%", "SizeOv%"},
 		Notes:   "paper: NA 765B/100%/15.1 — UA 2662/33.7/6.83 — BA 2727/26.7/6.55 — DBA 3477/21.1/5.8",
 	}
+	var p plan
 	naTx := 0
 	for _, scheme := range []mac.Scheme{mac.NA, mac.UA, mac.BA, mac.DBA} {
-		rel := relayFor(scheme, detailRate, o.Seed)
-		if scheme.Name() == "NA" {
-			naTx = rel.MAC.DataTx
-		}
-		txPct := 100 * float64(rel.MAC.DataTx) / float64(naTx)
-		t.Rows = append(t.Rows, Row{Label: scheme.Name(), Values: []float64{
-			rel.MAC.AvgFrameBytes(),
-			txPct,
-			100 * rel.MAC.SizeOverhead(rel.PreambleBytes),
-		}})
+		p.tcp("table3/"+scheme.Name(), relayCfg(scheme, detailRate, o.Seed),
+			func(r core.TCPResult) {
+				rel := core.Relay(r.Nodes)
+				if scheme.Name() == "NA" {
+					naTx = rel.MAC.DataTx
+				}
+				t.Rows = append(t.Rows, Row{Label: scheme.Name(), Values: []float64{
+					rel.MAC.AvgFrameBytes(),
+					100 * float64(rel.MAC.DataTx) / float64(naTx),
+					100 * rel.MAC.SizeOverhead(rel.PreambleBytes),
+				}})
+			})
 	}
+	p.run(o)
 	return t
 }
 
@@ -354,14 +441,20 @@ func Table4(o Options) Table {
 		Columns: rateCols(),
 		Notes:   "paper NA row: 22.4 / 34.9 / 44.4 / 52.1",
 	}
+	var p plan
 	for _, scheme := range []mac.Scheme{mac.NA, mac.UA, mac.BA, mac.DBA} {
-		row := Row{Label: scheme.Name()}
+		ri := len(t.Rows)
+		t.Rows = append(t.Rows, Row{Label: scheme.Name()})
 		for _, rate := range experimentRates {
-			rel := relayFor(scheme, rate, o.Seed)
-			row.Values = append(row.Values, 100*rel.MAC.TimeOverhead())
+			p.tcp(fmt.Sprintf("table4/%s/%s", scheme.Name(), rate),
+				relayCfg(scheme, rate, o.Seed),
+				func(r core.TCPResult) {
+					rel := core.Relay(r.Nodes)
+					t.Rows[ri].Values = append(t.Rows[ri].Values, 100*rel.MAC.TimeOverhead())
+				})
 		}
-		t.Rows = append(t.Rows, row)
 	}
+	p.run(o)
 	return t
 }
 
@@ -375,19 +468,32 @@ func Tables5to7(o Options) Table {
 		Columns: []string{"2hopFrmB", "starFrmB", "2hopOv%", "starOv%", "2hopTX%", "starTX%"},
 		Notes:   "paper: UA frame flat (2662→2651), BA grows (2727→3432); TX% drops for both",
 	}
-	chainNA := relayFor(mac.NA, detailRate, o.Seed)
-	starNA := core.Relay(core.RunTCP(core.TCPConfig{Scheme: mac.NA, Rate: detailRate, Star: true, Seed: o.Seed}).Nodes)
-	for _, scheme := range []mac.Scheme{mac.UA, mac.BA} {
-		chain := relayFor(scheme, detailRate, o.Seed)
-		star := core.Relay(core.RunTCP(core.TCPConfig{Scheme: scheme, Rate: detailRate, Star: true, Seed: o.Seed}).Nodes)
-		t.Rows = append(t.Rows, Row{Label: scheme.Name(), Values: []float64{
-			chain.MAC.AvgFrameBytes(), star.MAC.AvgFrameBytes(),
-			100 * chain.MAC.SizeOverhead(chain.PreambleBytes),
-			100 * star.MAC.SizeOverhead(star.PreambleBytes),
-			100 * float64(chain.MAC.DataTx) / float64(chainNA.MAC.DataTx),
-			100 * float64(star.MAC.DataTx) / float64(starNA.MAC.DataTx),
-		}})
+	starCfg := func(scheme mac.Scheme) core.TCPConfig {
+		return core.TCPConfig{Scheme: scheme, Rate: detailRate, Star: true, Seed: o.Seed}
 	}
+	var p plan
+	var chainNA, starNA core.NodeReport
+	p.tcp("table5/NA/chain", relayCfg(mac.NA, detailRate, o.Seed),
+		func(r core.TCPResult) { chainNA = core.Relay(r.Nodes) })
+	p.tcp("table5/NA/star", starCfg(mac.NA),
+		func(r core.TCPResult) { starNA = core.Relay(r.Nodes) })
+	for _, scheme := range []mac.Scheme{mac.UA, mac.BA} {
+		var chain core.NodeReport
+		p.tcp("table5/"+scheme.Name()+"/chain", relayCfg(scheme, detailRate, o.Seed),
+			func(r core.TCPResult) { chain = core.Relay(r.Nodes) })
+		p.tcp("table5/"+scheme.Name()+"/star", starCfg(scheme),
+			func(r core.TCPResult) {
+				star := core.Relay(r.Nodes)
+				t.Rows = append(t.Rows, Row{Label: scheme.Name(), Values: []float64{
+					chain.MAC.AvgFrameBytes(), star.MAC.AvgFrameBytes(),
+					100 * chain.MAC.SizeOverhead(chain.PreambleBytes),
+					100 * star.MAC.SizeOverhead(star.PreambleBytes),
+					100 * float64(chain.MAC.DataTx) / float64(chainNA.MAC.DataTx),
+					100 * float64(star.MAC.DataTx) / float64(starNA.MAC.DataTx),
+				}})
+			})
+	}
+	p.run(o)
 	return t
 }
 
@@ -400,18 +506,21 @@ func Table8(o Options) Table {
 		Columns: []string{"Srv(2)", "Relay(2)", "Cli(2)", "Srv(3)", "Rly1(3)", "Rly2(3)", "Cli(3)"},
 		Notes:   "paper UA: 3897/2662/463 | 3451/2384/2224/443; BA: 3488/2727/447 | 3313/2538/2670/430",
 	}
+	var p plan
 	for _, scheme := range []mac.Scheme{mac.UA, mac.BA} {
-		row := Row{Label: scheme.Name()}
-		r2 := core.RunTCP(core.TCPConfig{Scheme: scheme, Rate: detailRate, Hops: 2, Seed: o.Seed})
-		for _, n := range r2.Nodes {
-			row.Values = append(row.Values, n.MAC.AvgFrameBytes())
+		ri := len(t.Rows)
+		t.Rows = append(t.Rows, Row{Label: scheme.Name()})
+		for _, hops := range []int{2, 3} {
+			p.tcp(fmt.Sprintf("table8/%s/%dhop", scheme.Name(), hops),
+				core.TCPConfig{Scheme: scheme, Rate: detailRate, Hops: hops, Seed: o.Seed},
+				func(r core.TCPResult) {
+					for _, n := range r.Nodes {
+						t.Rows[ri].Values = append(t.Rows[ri].Values, n.MAC.AvgFrameBytes())
+					}
+				})
 		}
-		r3 := core.RunTCP(core.TCPConfig{Scheme: scheme, Rate: detailRate, Hops: 3, Seed: o.Seed})
-		for _, n := range r3.Nodes {
-			row.Values = append(row.Values, n.MAC.AvgFrameBytes())
-		}
-		t.Rows = append(t.Rows, row)
 	}
+	p.run(o)
 	return t
 }
 

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"aggmac/internal/runner"
 )
 
 var opts = Options{Seed: 1, Quick: true}
@@ -161,6 +163,31 @@ func TestTable3Shape(t *testing.T) {
 	}
 	if !(na.Values[2] > ua.Values[2] && ua.Values[2] >= ba.Values[2]*0.95) {
 		t.Errorf("size overhead not decreasing: %v %v %v", na.Values[2], ua.Values[2], ba.Values[2])
+	}
+}
+
+// TestParallelMatchesSerial is the runner's acceptance contract at the
+// experiments layer: byte-identical formatted tables at any worker count.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, e := range []Experiment{{"fig11", Figure11}, {"table2", Table2}, {"table3", Table3}} {
+		serial := e.Run(Options{Seed: 3, Quick: true, Workers: 1})
+		for _, workers := range []int{4, 0} { // 0 = GOMAXPROCS
+			par := e.Run(Options{Seed: 3, Quick: true, Workers: workers})
+			if par.Format() != serial.Format() {
+				t.Errorf("%s: workers=%d output differs from serial:\n%s\nvs\n%s",
+					e.Name, workers, par.Format(), serial.Format())
+			}
+		}
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var keys []string
+	Table2(Options{Seed: 1, Quick: true, Workers: 2, Progress: func(p runner.Progress) {
+		keys = append(keys, p.Key) // serialized by the pool
+	}})
+	if len(keys) != 4 {
+		t.Fatalf("%d progress callbacks, want 4 (2 rates × NA/UA)", len(keys))
 	}
 }
 

@@ -31,16 +31,21 @@ func ExtensionFairness(o Options) Table {
 		Columns: []string{"sess0Mbps", "sess1Mbps", "Jain", "sumMbps"},
 		Notes:   "beyond the paper: drop-tail queues at the centre can starve one session; aggregation shortens queues and helps fairness",
 	}
+	var p plan
 	for _, scheme := range []mac.Scheme{mac.NA, mac.UA, mac.BA, mac.DBA} {
-		r := core.RunTCP(core.TCPConfig{Scheme: scheme, Rate: detailRate, Star: true, Seed: o.Seed})
-		sum := 0.0
-		for _, m := range r.SessionMbps {
-			sum += m
-		}
-		t.Rows = append(t.Rows, Row{Label: scheme.Name(), Values: []float64{
-			r.SessionMbps[0], r.SessionMbps[1], jain(r.SessionMbps), sum,
-		}})
+		p.tcp("ext-fairness/"+scheme.Name(),
+			core.TCPConfig{Scheme: scheme, Rate: detailRate, Star: true, Seed: o.Seed},
+			func(r core.TCPResult) {
+				sum := 0.0
+				for _, m := range r.SessionMbps {
+					sum += m
+				}
+				t.Rows = append(t.Rows, Row{Label: scheme.Name(), Values: []float64{
+					r.SessionMbps[0], r.SessionMbps[1], jain(r.SessionMbps), sum,
+				}})
+			})
 	}
+	p.run(o)
 	return t
 }
 
@@ -54,18 +59,23 @@ func ExtensionDelay(o Options) Table {
 		Columns: []string{"meanMs", "p50Ms", "p95Ms", "Mbps"},
 		Notes:   "beyond the paper: below saturation DBA pays for aggregation with floor-holding delay; UA/BA are identical on unicast-only traffic",
 	}
+	var p plan
 	for _, scheme := range []mac.Scheme{mac.NA, mac.UA, mac.BA, mac.DBA} {
 		// ~0.3 Mbps offered into ~0.55 Mbps of 2-hop capacity: queues stay
 		// short, so the delay is airtime plus scheme-induced waiting.
-		r := core.RunUDP(core.UDPConfig{Scheme: scheme, Rate: phy.Rate1300k, Hops: 2,
-			Burst: 1, Interval: 30 * time.Millisecond,
-			Seed: o.Seed, Duration: o.udpDur()})
-		t.Rows = append(t.Rows, Row{Label: scheme.Name(), Values: []float64{
-			float64(r.Delay.Mean) / 1e6,
-			float64(r.Delay.P50) / 1e6,
-			float64(r.Delay.P95) / 1e6,
-			r.ThroughputMbps,
-		}})
+		p.udp("ext-delay/"+scheme.Name(),
+			core.UDPConfig{Scheme: scheme, Rate: phy.Rate1300k, Hops: 2,
+				Burst: 1, Interval: 30 * time.Millisecond,
+				Seed: o.Seed, Duration: o.udpDur()},
+			func(r core.UDPResult) {
+				t.Rows = append(t.Rows, Row{Label: scheme.Name(), Values: []float64{
+					float64(r.Delay.Mean) / 1e6,
+					float64(r.Delay.P50) / 1e6,
+					float64(r.Delay.P95) / 1e6,
+					r.ThroughputMbps,
+				}})
+			})
 	}
+	p.run(o)
 	return t
 }

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"aggmac/internal/runner"
+)
+
+// SweepTable aggregates a runner.Sweep's results into the Table shape the
+// rest of the tooling prints and encodes: one row per scheme × hop count,
+// one column per PHY rate, each cell the mean end-to-end throughput across
+// the sweep's seed replications. results must be what Pool.Run returned
+// for sweep.Specs() (same order); cancelled or failed runs are skipped,
+// which the Notes line reports.
+func SweepTable(sweep runner.Sweep, results []runner.Result) Table {
+	t := Table{
+		ID:    "Sweep",
+		Title: fmt.Sprintf("%s throughput sweep (Mbps; mean of %d seed rep(s), base seed %d)", strings.ToUpper(sweep.Traffic), max(sweep.Reps, 1), sweep.BaseSeed),
+	}
+	for _, rate := range sweep.Rates {
+		t.Columns = append(t.Columns, rate.String())
+	}
+	reps := max(sweep.Reps, 1)
+	skipped := 0
+	i := 0
+	for _, scheme := range sweep.Schemes {
+		for _, hops := range sweep.Hops {
+			row := Row{Label: fmt.Sprintf("%d-hop %s", hops, scheme.Name())}
+			for range sweep.Rates {
+				sum, n := 0.0, 0
+				for rep := 0; rep < reps; rep++ {
+					r := results[i]
+					i++
+					if r.Err != nil || (r.TCP == nil && r.UDP == nil) {
+						skipped++
+						continue
+					}
+					sum += r.ThroughputMbps()
+					n++
+				}
+				mean := 0.0
+				if n > 0 {
+					mean = sum / float64(n)
+				}
+				row.Values = append(row.Values, mean)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	if skipped > 0 {
+		t.Notes = fmt.Sprintf("%d of %d runs missing (failed or cancelled); affected cells average the runs that finished", skipped, len(results))
+	}
+	return t
+}

@@ -1,0 +1,194 @@
+// Package runner executes declarative sets of simulation runs across a
+// worker pool. An experiment (or a CLI sweep) describes its run matrix as a
+// slice of Specs — scheme × PHY rate × topology × traffic × seed — and the
+// Pool fans the independent, deterministic simulations across workers.
+//
+// Determinism contract: every run's outcome is a pure function of its
+// config (each sim owns its scheduler and seeded random source, and shares
+// no mutable state with other runs), and results are returned indexed by
+// spec position. A sweep therefore produces bit-identical output no matter
+// how many workers execute it or in which order runs complete. Per-run
+// seeds for generated grids come from DeriveSeed, a pure function of the
+// base seed and the run's key.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"aggmac/internal/core"
+)
+
+// Spec is one declarative simulation run: a stable key (identity for seed
+// derivation and progress display) plus exactly one traffic config.
+type Spec struct {
+	Key string
+	TCP *core.TCPConfig
+	UDP *core.UDPConfig
+}
+
+// Result is one completed run, indexed by its spec's position.
+type Result struct {
+	Index int
+	Key   string
+	TCP   *core.TCPResult
+	UDP   *core.UDPResult
+	// Wall is the wall-clock cost of this run (not simulated time).
+	Wall time.Duration
+	// Err is non-nil when the spec was malformed, the sim panicked, or the
+	// sweep was cancelled before this run started.
+	Err error
+}
+
+// ThroughputMbps returns the run's headline metric: end-to-end TCP goodput
+// or UDP sink goodput.
+func (r Result) ThroughputMbps() float64 {
+	switch {
+	case r.TCP != nil:
+		return r.TCP.ThroughputMbps
+	case r.UDP != nil:
+		return r.UDP.ThroughputMbps
+	}
+	return 0
+}
+
+// Progress reports one completed run. Done counts completions so far, so a
+// reporter can render "[Done/Total] Key".
+type Progress struct {
+	Done  int
+	Total int
+	Index int
+	Key   string
+	Wall  time.Duration
+}
+
+// StderrProgress is the standard per-run progress reporter the CLIs wire
+// to -progress: one "[done/total] key (wall)" line per completed run.
+func StderrProgress(p Progress) {
+	fmt.Fprintf(os.Stderr, "[%d/%d] %s (%v)\n", p.Done, p.Total, p.Key, p.Wall.Round(time.Millisecond))
+}
+
+// Pool executes specs across Workers goroutines.
+type Pool struct {
+	// Workers is the concurrency cap; <=0 means GOMAXPROCS.
+	Workers int
+	// OnResult, when set, is called after each run completes, in completion
+	// order. Calls are serialized; the callback must not block for long.
+	OnResult func(Progress)
+}
+
+func (p *Pool) workers(n int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes every spec and returns results in spec order. The slice
+// always has len(specs) entries; on cancellation the unstarted entries
+// carry ctx's error, and Run's own error is ctx.Err(). Individual run
+// failures (malformed spec, sim panic) land in Result.Err, not in Run's
+// error, so one bad cell cannot sink a sweep.
+func (p *Pool) Run(ctx context.Context, specs []Spec) ([]Result, error) {
+	results := make([]Result, len(specs))
+	if len(specs) == 0 {
+		return results, ctx.Err()
+	}
+
+	idxCh := make(chan int)
+	go func() {
+		defer close(idxCh)
+		for i := range specs {
+			select {
+			case idxCh <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	for w := p.workers(len(specs)); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if ctx.Err() != nil {
+					return
+				}
+				results[i] = runOne(i, specs[i])
+				if p.OnResult != nil {
+					mu.Lock()
+					done++
+					p.OnResult(Progress{Done: done, Total: len(specs),
+						Index: i, Key: specs[i].Key, Wall: results[i].Wall})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if results[i].TCP == nil && results[i].UDP == nil && results[i].Err == nil {
+				results[i] = Result{Index: i, Key: specs[i].Key, Err: err}
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// runOne executes a single spec, converting panics into Result.Err so a
+// diverging cell reports instead of killing the whole sweep.
+func runOne(i int, s Spec) (res Result) {
+	start := time.Now()
+	res = Result{Index: i, Key: s.Key}
+	defer func() {
+		res.Wall = time.Since(start)
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("runner: run %q panicked: %v", s.Key, r)
+			res.TCP, res.UDP = nil, nil
+		}
+	}()
+	switch {
+	case s.TCP != nil && s.UDP == nil:
+		r := core.RunTCP(*s.TCP)
+		res.TCP = &r
+	case s.UDP != nil && s.TCP == nil:
+		r := core.RunUDP(*s.UDP)
+		res.UDP = &r
+	default:
+		res.Err = fmt.Errorf("runner: spec %q must set exactly one of TCP or UDP", s.Key)
+	}
+	return res
+}
+
+// DeriveSeed maps (base seed, run key) to a per-run seed: FNV-1a over the
+// key mixed with the base through a splitmix64 finalizer. It is a pure
+// function, so the seed a run gets never depends on worker count or
+// completion order — only on the sweep's base seed and the run's identity.
+func DeriveSeed(base int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := uint64(base) ^ h.Sum64()
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return int64(x ^ (x >> 31))
+}

@@ -1,0 +1,100 @@
+package runner
+
+import (
+	"fmt"
+	"time"
+
+	"aggmac/internal/core"
+	"aggmac/internal/mac"
+	"aggmac/internal/phy"
+)
+
+// Sweep declares a parameter grid — scheme × PHY rate × hop count × seed
+// replication — that Specs() enumerates into runnable Specs. Each point's
+// seed is DeriveSeed(BaseSeed, key), so regenerating the same sweep with
+// the same base seed is bit-identical at any worker count, while distinct
+// points (and distinct replications of one point) draw independent
+// randomness.
+type Sweep struct {
+	// Traffic selects the workload: "tcp" (file transfer) or "udp"
+	// (saturating datagram stream).
+	Traffic string
+	Schemes []mac.Scheme
+	Rates   []phy.Rate
+	Hops    []int
+	// Reps is the number of seed replications per grid point (default 1).
+	Reps     int
+	BaseSeed int64
+
+	// MaxAggBytes caps aggregation (0 = the core default, 5120).
+	MaxAggBytes int
+	// FileBytes sizes each TCP transfer (0 = core.PaperFileBytes).
+	FileBytes int
+	// Duration bounds each UDP measurement (0 = the core default).
+	Duration time.Duration
+	// FloodInterval enables per-node flooding for UDP points.
+	FloodInterval time.Duration
+	// NoForwardAgg disables forward aggregation on every scheme in the
+	// grid (the Figure 14 ablation).
+	NoForwardAgg bool
+	// BlockAck / AutoAggSize enable the §7 extensions (TCP points only).
+	BlockAck    bool
+	AutoAggSize bool
+	// FixedBroadcastRate pins the broadcast-portion rate (TCP points
+	// only); nil broadcasts at the unicast rate.
+	FixedBroadcastRate *phy.Rate
+}
+
+// Points returns the number of grid points (excluding replications).
+func (s Sweep) Points() int { return len(s.Schemes) * len(s.Rates) * len(s.Hops) }
+
+func (s Sweep) reps() int {
+	if s.Reps < 1 {
+		return 1
+	}
+	return s.Reps
+}
+
+// PointKey names a grid point; replication r of that point has key
+// "<PointKey>/rep<r>". Enumeration order is scheme-major, then hops, then
+// rate, then replication — the same order Specs returns.
+func (s Sweep) PointKey(scheme mac.Scheme, hops int, rate phy.Rate) string {
+	return fmt.Sprintf("%s/%s/%dhop/%s", s.Traffic, scheme.Name(), hops, rate)
+}
+
+// Specs enumerates the grid in deterministic order.
+func (s Sweep) Specs() []Spec {
+	specs := make([]Spec, 0, s.Points()*s.reps())
+	for _, scheme := range s.Schemes {
+		if s.NoForwardAgg {
+			scheme.DisableForwardAggregation = true
+		}
+		for _, hops := range s.Hops {
+			for _, rate := range s.Rates {
+				for rep := 0; rep < s.reps(); rep++ {
+					key := fmt.Sprintf("%s/rep%d", s.PointKey(scheme, hops, rate), rep)
+					seed := DeriveSeed(s.BaseSeed, key)
+					sp := Spec{Key: key}
+					switch s.Traffic {
+					case "udp":
+						sp.UDP = &core.UDPConfig{
+							Scheme: scheme, Rate: rate, Hops: hops,
+							MaxAggBytes: s.MaxAggBytes, Duration: s.Duration,
+							FloodInterval: s.FloodInterval, Seed: seed,
+						}
+					default: // "tcp"
+						sp.TCP = &core.TCPConfig{
+							Scheme: scheme, Rate: rate, Hops: hops,
+							MaxAggBytes: s.MaxAggBytes, FileBytes: s.FileBytes,
+							BlockAck: s.BlockAck, AutoAggSize: s.AutoAggSize,
+							FixedBroadcastRate: s.FixedBroadcastRate,
+							Seed:               seed,
+						}
+					}
+					specs = append(specs, sp)
+				}
+			}
+		}
+	}
+	return specs
+}
