@@ -39,6 +39,7 @@ var quick = experiments.Options{Seed: 1, Quick: true}
 // the first row's first value so regressions are visible in bench output.
 func benchTable(b *testing.B, run func(experiments.Options) experiments.Table, metric string) {
 	b.Helper()
+	b.ReportAllocs()
 	var tab experiments.Table
 	for i := 0; i < b.N; i++ {
 		tab = run(quick)
@@ -69,6 +70,7 @@ func BenchmarkTable8(b *testing.B) { benchTable(b, experiments.Table8, "bytes") 
 // the simulation speed (simulated seconds per wall second).
 func benchTCP(b *testing.B, cfg core.TCPConfig) {
 	b.Helper()
+	b.ReportAllocs()
 	var res core.TCPResult
 	start := time.Now()
 	var simulated time.Duration
@@ -108,6 +110,7 @@ func BenchmarkAblationRTSOn(b *testing.B) {
 }
 
 func BenchmarkAblationRTSOff(b *testing.B) {
+	b.ReportAllocs()
 	var res core.TCPResult
 	for i := 0; i < b.N; i++ {
 		res = runWithMACTweak(int64(i+1), func(o *mac.Options) { o.UseRTSCTS = false })
@@ -118,6 +121,7 @@ func BenchmarkAblationRTSOff(b *testing.B) {
 // AblationBlockAck: all-or-nothing CRC rule vs per-subframe block ACKs at
 // an aggregation size past the coherence budget.
 func BenchmarkAblationAllOrNothingOversize(b *testing.B) {
+	b.ReportAllocs()
 	var res core.TCPResult
 	for i := 0; i < b.N; i++ {
 		res = core.RunTCP(core.TCPConfig{Scheme: mac.UA, Rate: phy.Rate650k, Hops: 1,
@@ -128,6 +132,7 @@ func BenchmarkAblationAllOrNothingOversize(b *testing.B) {
 }
 
 func BenchmarkAblationBlockAckOversize(b *testing.B) {
+	b.ReportAllocs()
 	var res core.TCPResult
 	for i := 0; i < b.N; i++ {
 		res = core.RunTCP(core.TCPConfig{Scheme: mac.UA, Rate: phy.Rate650k, Hops: 1,
@@ -144,6 +149,7 @@ func BenchmarkAblationSkipOverGather(b *testing.B) {
 }
 
 func BenchmarkAblationHeadOnlyGather(b *testing.B) {
+	b.ReportAllocs()
 	var res core.TCPResult
 	for i := 0; i < b.N; i++ {
 		res = runStarWithMACTweak(int64(i+1), func(o *mac.Options) { o.HeadOnlyGather = true })
@@ -158,6 +164,7 @@ func BenchmarkAblationAckEverySegment(b *testing.B) {
 }
 
 func BenchmarkAblationDelayedAck(b *testing.B) {
+	b.ReportAllocs()
 	var res core.TCPResult
 	for i := 0; i < b.N; i++ {
 		cfg := core.TCPConfig{Scheme: mac.BA, Rate: phy.Rate2600k, Hops: 2, Seed: int64(i + 1)}
@@ -176,6 +183,7 @@ func BenchmarkAblationDBAThreshold4(b *testing.B) { benchDBAThreshold(b, 4) }
 
 func benchDBAThreshold(b *testing.B, min int) {
 	b.Helper()
+	b.ReportAllocs()
 	var res core.TCPResult
 	for i := 0; i < b.N; i++ {
 		s := mac.DBA
@@ -191,6 +199,7 @@ func BenchmarkAblationBroadcastFirst(b *testing.B) {
 }
 
 func BenchmarkAblationBroadcastLast(b *testing.B) {
+	b.ReportAllocs()
 	var res core.TCPResult
 	for i := 0; i < b.N; i++ {
 		res = runWithMACTweak(int64(i+1), func(o *mac.Options) { o.BroadcastLast = true })
@@ -201,6 +210,7 @@ func BenchmarkAblationBroadcastLast(b *testing.B) {
 // AblationAutoAggSize: the §7 rate-adaptive aggregation size at an unsafe
 // cap.
 func BenchmarkAblationAutoAggSize(b *testing.B) {
+	b.ReportAllocs()
 	var res core.TCPResult
 	for i := 0; i < b.N; i++ {
 		res = core.RunTCP(core.TCPConfig{Scheme: mac.UA, Rate: phy.Rate650k, Hops: 1,
@@ -216,6 +226,7 @@ func BenchmarkAblationDedupOff(b *testing.B) {
 }
 
 func BenchmarkAblationDedupOn(b *testing.B) {
+	b.ReportAllocs()
 	var res core.TCPResult
 	for i := 0; i < b.N; i++ {
 		res = runWithMACTweak(int64(i+1), func(o *mac.Options) { o.DedupWindow = 64 })

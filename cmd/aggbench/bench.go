@@ -1,0 +1,121 @@
+// The -benchjson / -benchfmt modes: run the repo's headline benchmarks
+// in-process (via testing.Benchmark) and record ns/op, allocs/op and
+// simsec/sec as JSON, so the perf trajectory of the simulator is committed
+// alongside the code (BENCH_baseline.json) and CI can compare fresh runs
+// against it with benchstat.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"aggmac/internal/core"
+	"aggmac/internal/mac"
+	"aggmac/internal/phy"
+)
+
+// BenchRecord is one benchmark's committed measurement.
+type BenchRecord struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	SimsecPerSec float64 `json:"simsec_per_sec"`
+	Mbps         float64 `json:"mbps"`
+}
+
+// headlineBenches mirrors the BenchmarkTCP2Hop*/BenchmarkTCPStarBA benches
+// in bench_test.go: same configs, same per-iteration seed derivation, so a
+// `go test -bench` run is directly comparable to a -benchjson record.
+func headlineBenches() []struct {
+	Name string
+	Cfg  core.TCPConfig
+} {
+	return []struct {
+		Name string
+		Cfg  core.TCPConfig
+	}{
+		{"BenchmarkTCP2HopNA", core.TCPConfig{Scheme: mac.NA, Rate: phy.Rate2600k, Hops: 2}},
+		{"BenchmarkTCP2HopUA", core.TCPConfig{Scheme: mac.UA, Rate: phy.Rate2600k, Hops: 2}},
+		{"BenchmarkTCP2HopBA", core.TCPConfig{Scheme: mac.BA, Rate: phy.Rate2600k, Hops: 2}},
+		{"BenchmarkTCP2HopDBA", core.TCPConfig{Scheme: mac.DBA, Rate: phy.Rate2600k, Hops: 2}},
+		{"BenchmarkTCPStarBA", core.TCPConfig{Scheme: mac.BA, Rate: phy.Rate2600k, Star: true}},
+	}
+}
+
+func measure(cfg core.TCPConfig) BenchRecord {
+	var mbps float64
+	var simulated time.Duration
+	var wall time.Duration
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		simulated = 0
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			cfg.Seed = int64(i + 1)
+			res := core.RunTCP(cfg)
+			simulated += res.Elapsed
+			mbps = res.ThroughputMbps
+		}
+		wall = time.Since(start)
+	})
+	rec := BenchRecord{
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Mbps:        mbps,
+	}
+	if w := wall.Seconds(); w > 0 {
+		rec.SimsecPerSec = simulated.Seconds() / w
+	}
+	return rec
+}
+
+func writeBenchJSON(w io.Writer) error {
+	out := make(map[string]BenchRecord)
+	for _, hb := range headlineBenches() {
+		fmt.Fprintf(os.Stderr, "aggbench: benching %s\n", hb.Name)
+		out[hb.Name] = measure(hb.Cfg)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// writeBenchText converts a -benchjson file to `go test -bench` output text
+// so benchstat can diff a committed baseline against a fresh run.
+func writeBenchText(w io.Writer, path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var recs map[string]BenchRecord
+	if err := json.Unmarshal(blob, &recs); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	names := make([]string, 0, len(recs))
+	for n := range recs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "goos: linux")
+	fmt.Fprintln(w, "goarch: amd64")
+	fmt.Fprintln(w, "pkg: aggmac")
+	for _, n := range names {
+		r := recs[n]
+		// Repeat each measurement so benchstat has enough samples to print
+		// a delta against a -count=5 fresh run (a single sample renders as
+		// "~" and defeats the CI regression grep). Names carry no
+		// -GOMAXPROCS suffix; the CI job strips the suffix from the fresh
+		// run so the rows key together.
+		for i := 0; i < 5; i++ {
+			fmt.Fprintf(w, "%s \t 1\t%.0f ns/op\t%d B/op\t%d allocs/op\t%.2f simsec/sec\n",
+				n, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.SimsecPerSec)
+		}
+	}
+	return nil
+}

@@ -17,12 +17,22 @@
 //	aggbench -csv  > e.csv
 //	aggbench -progress       # per-run progress lines on stderr
 //	aggbench -list           # list experiment names
+//
+// Performance tooling (see README "Performance"):
+//
+//	aggbench -cpuprofile cpu.pprof -exp fig7   # profile the hot path
+//	aggbench -memprofile mem.pprof -exp fig7
+//	aggbench -benchjson > BENCH_baseline.json  # headline benches as JSON
+//	aggbench -benchfmt BENCH_baseline.json     # JSON -> `go test -bench`
+//	                                           # text, for benchstat
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"aggmac/internal/experiments"
@@ -31,16 +41,63 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment to run (empty = all); see -list")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		quick    = flag.Bool("quick", false, "shorter UDP measurement windows")
-		parallel = flag.Int("parallel", 0, "concurrent simulation workers (0 = GOMAXPROCS, 1 = serial)")
-		jsonOut  = flag.Bool("json", false, "emit tables as a JSON array")
-		csvOut   = flag.Bool("csv", false, "emit tables as CSV")
-		progress = flag.Bool("progress", false, "report each completed run on stderr")
-		list     = flag.Bool("list", false, "list experiment names and exit")
+		exp        = flag.String("exp", "", "experiment to run (empty = all); see -list")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		quick      = flag.Bool("quick", false, "shorter UDP measurement windows")
+		parallel   = flag.Int("parallel", 0, "concurrent simulation workers (0 = GOMAXPROCS, 1 = serial)")
+		jsonOut    = flag.Bool("json", false, "emit tables as a JSON array")
+		csvOut     = flag.Bool("csv", false, "emit tables as CSV")
+		progress   = flag.Bool("progress", false, "report each completed run on stderr")
+		list       = flag.Bool("list", false, "list experiment names and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		benchjson  = flag.Bool("benchjson", false, "run the headline benchmarks and emit name → ns/op, allocs/op, simsec/sec as JSON")
+		benchfmt   = flag.String("benchfmt", "", "read a -benchjson file and print it in `go test -bench` text form (benchstat input)")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aggbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "aggbench:", err)
+			}
+		}()
+	}
+
+	if *benchfmt != "" {
+		if err := writeBenchText(os.Stdout, *benchfmt); err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchjson {
+		if err := writeBenchJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	all := experiments.All()
 	if *list {

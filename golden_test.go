@@ -1,0 +1,148 @@
+// Golden determinism tests: for one TCP and one UDP configuration per MAC
+// scheme, the full result of a seeded run — every throughput float (exact
+// bits), every per-node counter, and the scheduler's executed-event count —
+// is hashed and pinned in testdata/golden.json.
+//
+// Any change to the event core, the PHY error model, or the channel that
+// alters a single RNG draw, FIFO tie-break, or delivered byte changes these
+// hashes. Performance PRs (pooled schedulers, memoized error models,
+// zero-copy delivery) must keep them byte-identical; regenerate with
+//
+//	go test -run TestGolden -update
+//
+// only when an intentional behaviour change is being made, and say so in the
+// commit message.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"aggmac/internal/core"
+	"aggmac/internal/mac"
+	"aggmac/internal/phy"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json from the current implementation")
+
+const goldenPath = "testdata/golden.json"
+
+type goldenEntry struct {
+	Hash      string `json:"hash"`
+	EventsRun uint64 `json:"events_run"`
+}
+
+// hexFloat renders a float64 exactly (hex mantissa), so two runs hash equal
+// only when every bit of every metric is equal.
+func hexFloat(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+func hashNodes(w *strings.Builder, nodes []core.NodeReport) {
+	for _, n := range nodes {
+		fmt.Fprintf(w, "node=%d role=%s mac=%+v net=%+v pre=%s\n",
+			n.ID, n.Role, n.MAC, n.Net, hexFloat(n.PreambleBytes))
+	}
+}
+
+func tcpGolden(scheme mac.Scheme) (string, uint64) {
+	res := core.RunTCP(core.TCPConfig{
+		Scheme: scheme, Rate: phy.Rate2600k, Hops: 2,
+		FileBytes: 30_000, Seed: 1,
+	})
+	var w strings.Builder
+	fmt.Fprintf(&w, "tcp scheme=%s completed=%v elapsed=%d events=%d\n",
+		scheme.Name(), res.Completed, int64(res.Elapsed), res.EventsRun)
+	fmt.Fprintf(&w, "throughput=%s\n", hexFloat(res.ThroughputMbps))
+	for _, m := range res.SessionMbps {
+		fmt.Fprintf(&w, "session=%s\n", hexFloat(m))
+	}
+	for _, s := range res.Sessions {
+		fmt.Fprintf(&w, "sess %d->%d done=%v finish=%d snd=%+v rcv=%+v\n",
+			int(s.Server), int(s.Client), s.Done, int64(s.Finish), s.Sender, s.Receiver)
+	}
+	hashNodes(&w, res.Nodes)
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(w.String()))), res.EventsRun
+}
+
+func udpGolden(scheme mac.Scheme) (string, uint64) {
+	res := core.RunUDP(core.UDPConfig{
+		Scheme: scheme, Rate: phy.Rate2600k, Hops: 2,
+		Duration: 5 * time.Second, Warmup: 1 * time.Second, Seed: 1,
+	})
+	var w strings.Builder
+	fmt.Fprintf(&w, "udp scheme=%s packets=%d events=%d\n",
+		scheme.Name(), res.SinkPackets, res.EventsRun)
+	fmt.Fprintf(&w, "throughput=%s\n", hexFloat(res.ThroughputMbps))
+	fmt.Fprintf(&w, "delay n=%d mean=%d p50=%d p95=%d max=%d\n",
+		res.Delay.Count, int64(res.Delay.Mean), int64(res.Delay.P50),
+		int64(res.Delay.P95), int64(res.Delay.Max))
+	hashNodes(&w, res.Nodes)
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(w.String()))), res.EventsRun
+}
+
+func goldenSchemes() []mac.Scheme {
+	return []mac.Scheme{mac.NA, mac.UA, mac.BA, mac.DBA}
+}
+
+func runGoldens() map[string]goldenEntry {
+	got := make(map[string]goldenEntry)
+	for _, s := range goldenSchemes() {
+		h, ev := tcpGolden(s)
+		got["tcp/"+s.Name()] = goldenEntry{Hash: h, EventsRun: ev}
+		h, ev = udpGolden(s)
+		got["udp/"+s.Name()] = goldenEntry{Hash: h, EventsRun: ev}
+	}
+	return got
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	got := runGoldens()
+
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d entries", goldenPath, len(got))
+		return
+	}
+
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	var want map[string]goldenEntry
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d entries, run produced %d", len(want), len(got))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("%s: missing from run", name)
+			continue
+		}
+		if g.EventsRun != w.EventsRun {
+			t.Errorf("%s: EventsRun = %d, golden %d (the event sequence changed)",
+				name, g.EventsRun, w.EventsRun)
+		}
+		if g.Hash != w.Hash {
+			t.Errorf("%s: output hash %s, golden %s (output is no longer byte-identical)",
+				name, g.Hash, w.Hash)
+		}
+	}
+}

@@ -97,6 +97,10 @@ type TCPResult struct {
 	Completed bool
 	// Elapsed is the slowest session's completion time.
 	Elapsed time.Duration
+	// EventsRun is the number of discrete events the scheduler executed;
+	// the golden determinism tests pin it to catch any event-core change
+	// that alters the run, not just ones that alter the metrics.
+	EventsRun uint64
 	// Nodes holds per-node counters (relay rows feed Tables 3–8).
 	Nodes []NodeReport
 }
@@ -226,7 +230,7 @@ func RunTCP(cfg TCPConfig) TCPResult {
 
 	net.Sched.RunUntil(cfg.Deadline)
 
-	res := TCPResult{Completed: true}
+	res := TCPResult{Completed: true, EventsRun: net.Sched.EventsRun()}
 	for i, s := range sessions {
 		rep := SessionReport{Server: s.server, Client: s.client, Done: s.done, Finish: s.finish}
 		if conns[i] != nil {
@@ -301,7 +305,9 @@ type UDPResult struct {
 	Delay      udp.DelayStats
 	FloodsSent int
 	FloodsRcvd int
-	Nodes      []NodeReport
+	// EventsRun is the number of discrete events the scheduler executed.
+	EventsRun uint64
+	Nodes     []NodeReport
 }
 
 // RunUDP executes the experiment on a linear chain, node 0 → node Hops.
@@ -371,6 +377,7 @@ func RunUDP(cfg UDPConfig) UDPResult {
 		ThroughputMbps: sink.ThroughputMbps(),
 		SinkPackets:    sink.Packets,
 		Delay:          sink.Delays(),
+		EventsRun:      net.Sched.EventsRun(),
 	}
 	for _, g := range gens {
 		res.FloodsSent += g.Sent

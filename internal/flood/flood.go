@@ -32,7 +32,8 @@ type Generator struct {
 	sched   *sim.Scheduler
 	node    *network.Node
 	running bool
-	timer   *sim.Timer
+	timer   sim.Timer
+	emitFn  func() // stable callback for the scheduler (no per-emit closure)
 }
 
 // NewGenerator creates a flooding source on node.
@@ -58,9 +59,7 @@ func (g *Generator) Start() {
 // Stop halts flooding.
 func (g *Generator) Stop() {
 	g.running = false
-	if g.timer != nil {
-		g.timer.Stop()
-	}
+	g.timer.Stop()
 }
 
 func (g *Generator) payloadBytes() int {
@@ -82,20 +81,25 @@ func (g *Generator) schedule() {
 	if gap <= 0 {
 		gap = time.Microsecond
 	}
-	g.timer = g.sched.After(gap, "flood:emit", func() {
-		err := g.node.Send(network.Packet{
-			Proto:   network.ProtoFlood,
-			Src:     g.node.ID(),
-			Dst:     network.BroadcastID,
-			Payload: make([]byte, g.payloadBytes()),
-		})
-		if err != nil {
-			g.Dropped++
-		} else {
-			g.Sent++
-		}
-		g.schedule()
+	if g.emitFn == nil {
+		g.emitFn = g.emitOne
+	}
+	g.timer = g.sched.After(gap, "flood:emit", g.emitFn)
+}
+
+func (g *Generator) emitOne() {
+	err := g.node.Send(network.Packet{
+		Proto:   network.ProtoFlood,
+		Src:     g.node.ID(),
+		Dst:     network.BroadcastID,
+		Payload: make([]byte, g.payloadBytes()),
 	})
+	if err != nil {
+		g.Dropped++
+	} else {
+		g.Sent++
+	}
+	g.schedule()
 }
 
 // Counter tallies flooding frames received at a node.

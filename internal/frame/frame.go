@@ -199,6 +199,13 @@ func DecodeSubframe(b []byte) (DecodedSubframe, int, error) {
 // unrecoverable without 802.11n-style delimiters); lost reports how many
 // bytes could not be walked.
 func DecodePortion(b []byte) (subs []DecodedSubframe, lost int) {
+	return DecodePortionAppend(nil, b)
+}
+
+// DecodePortionAppend is DecodePortion appending into dst, so a receiver
+// can reuse one backing array across frames.
+func DecodePortionAppend(dst []DecodedSubframe, b []byte) (subs []DecodedSubframe, lost int) {
+	subs = dst
 	for len(b) > 0 {
 		d, n, err := DecodeSubframe(b)
 		if err != nil {
@@ -320,7 +327,14 @@ func (a *Aggregate) Header() PHYHeader {
 // of every subframe (used by the channel model to corrupt individual
 // subframes by airtime offset).
 func (a *Aggregate) Marshal() (body []byte, spans []Span) {
-	body = make([]byte, 0, a.Bytes())
+	return a.AppendMarshal(make([]byte, 0, a.Bytes()), nil)
+}
+
+// AppendMarshal is Marshal appending into caller-provided slices, so the
+// channel model can reuse a pooled span array across transmissions (the body
+// is shared with every receiver and must come in fresh — pass a slice no one
+// else retains).
+func (a *Aggregate) AppendMarshal(body []byte, spans []Span) ([]byte, []Span) {
 	writeBcast := func() {
 		for _, sf := range a.Broadcast {
 			off := len(body)
@@ -360,20 +374,33 @@ type DecodedAggregate struct {
 
 // DecodeAggregate splits the body per the PHY header and walks each portion.
 func DecodeAggregate(hdr PHYHeader, body []byte) (DecodedAggregate, error) {
-	out := DecodedAggregate{Header: hdr}
+	var out DecodedAggregate
+	err := DecodeAggregateInto(&out, hdr, body)
+	return out, err
+}
+
+// DecodeAggregateInto is DecodeAggregate reusing out's slice backing, so a
+// receiver decoding one frame at a time allocates nothing in steady state.
+// The decoded Payload fields alias body; out's contents are valid until the
+// next call with the same out.
+func DecodeAggregateInto(out *DecodedAggregate, hdr PHYHeader, body []byte) error {
+	out.Header = hdr
+	out.Broadcast = out.Broadcast[:0]
+	out.Unicast = out.Unicast[:0]
+	out.BroadcastLost, out.UnicastLost, out.LostBytes = 0, 0, 0
 	if hdr.BroadcastLen+hdr.UnicastLen != len(body) {
-		return out, fmt.Errorf("%w: header says %d+%d bytes, body is %d",
+		return fmt.Errorf("%w: header says %d+%d bytes, body is %d",
 			ErrBadLength, hdr.BroadcastLen, hdr.UnicastLen, len(body))
 	}
 	if hdr.Trailing {
-		out.Unicast, out.UnicastLost = DecodePortion(body[:hdr.UnicastLen])
-		out.Broadcast, out.BroadcastLost = DecodePortion(body[hdr.UnicastLen:])
+		out.Unicast, out.UnicastLost = DecodePortionAppend(out.Unicast, body[:hdr.UnicastLen])
+		out.Broadcast, out.BroadcastLost = DecodePortionAppend(out.Broadcast, body[hdr.UnicastLen:])
 	} else {
-		out.Broadcast, out.BroadcastLost = DecodePortion(body[:hdr.BroadcastLen])
-		out.Unicast, out.UnicastLost = DecodePortion(body[hdr.BroadcastLen:])
+		out.Broadcast, out.BroadcastLost = DecodePortionAppend(out.Broadcast, body[:hdr.BroadcastLen])
+		out.Unicast, out.UnicastLost = DecodePortionAppend(out.Unicast, body[hdr.BroadcastLen:])
 	}
 	out.LostBytes = out.BroadcastLost + out.UnicastLost
-	return out, nil
+	return nil
 }
 
 // Control is an RTS, CTS, ACK or BlockAck frame.

@@ -20,20 +20,32 @@ func (m *MAC) assemble() *frame.Aggregate {
 			maxBytes = b
 		}
 	}
-	agg := &frame.Aggregate{
-		BroadcastRate:     m.opts.BroadcastRate,
-		UnicastRate:       unicastRate,
-		BroadcastTrailing: m.opts.BroadcastLast,
+	// Recycle the scratch aggregate: the previous bundle is fully dead by
+	// the time assemble runs again (the medium copied its bytes on
+	// transmit, and m.current was cleared by ack/drop). Reserve the
+	// subframe slab up front — appends must not reallocate mid-assembly or
+	// the *Subframe pointers already stored in the portions would go stale.
+	agg := &m.aggScratch
+	agg.BroadcastRate = m.opts.BroadcastRate
+	agg.UnicastRate = unicastRate
+	agg.BroadcastTrailing = m.opts.BroadcastLast
+	agg.Broadcast = agg.Broadcast[:0]
+	agg.Unicast = agg.Unicast[:0]
+	if need := len(m.bq) + len(m.uq); cap(m.sfScratch) < need {
+		m.sfScratch = make([]frame.Subframe, 0, need)
+	} else {
+		m.sfScratch = m.sfScratch[:0]
 	}
 	size := 0
 
 	mkSub := func(out *Outgoing) *frame.Subframe {
-		return &frame.Subframe{Addr1: out.Dst, Addr2: m.addr, Addr3: out.Src, Payload: out.Payload}
+		m.sfScratch = append(m.sfScratch, frame.Subframe{Addr1: out.Dst, Addr2: m.addr, Addr3: out.Src, Payload: out.Payload})
+		return &m.sfScratch[len(m.sfScratch)-1]
 	}
 
 	takeBroadcast := func(limit int) {
 		for len(m.bq) > 0 && (limit <= 0 || len(agg.Broadcast) < limit) {
-			sf := mkSub(m.bq[0])
+			sf := mkSub(&m.bq[0])
 			w := sf.WireSize()
 			if size > 0 && size+w > maxBytes {
 				break
@@ -67,7 +79,7 @@ func (m *MAC) assemble() *frame.Aggregate {
 		}
 		dst := m.uq[0].Dst
 		for i := 0; i < len(m.uq) && len(agg.Unicast) < limit; {
-			out := m.uq[i]
+			out := &m.uq[i]
 			if out.Dst != dst {
 				if m.opts.HeadOnlyGather {
 					break

@@ -64,7 +64,7 @@ type MAC struct {
 
 	deliver DeliverFunc
 
-	bq, uq []*Outgoing
+	bq, uq []Outgoing
 	seq    uint64
 
 	cw           int
@@ -78,7 +78,22 @@ type MAC struct {
 	nav          sim.Time
 	flushDue     bool
 
-	difsTimer, slotTimer, respTimer, navTimer, flushTimer *sim.Timer
+	difsTimer, slotTimer, respTimer, navTimer, flushTimer sim.Timer
+
+	// Precomputed event callbacks: the DCF schedules thousands of timers per
+	// simulated second, so the hot path hands the scheduler these stable
+	// funcs instead of allocating a fresh closure (or method value) per At.
+	resumeFn, difsFn, slotFn, timeoutFn, startDataFn, dataEndFn, respEndFn, flushFn func()
+
+	// rxScratch is the reusable aggregate-decode buffer; RxAggregate and
+	// everything it calls run synchronously, so one per MAC suffices.
+	rxScratch frame.DecodedAggregate
+
+	// aggScratch/sfScratch back the assembled aggregate. A MAC has at most
+	// one exchange bundle in flight and assemble only runs once m.current is
+	// nil again, so both recycle between exchanges without copies.
+	aggScratch frame.Aggregate
+	sfScratch  []frame.Subframe
 
 	dedup    []uint64 // ring of recently delivered frame signatures
 	dedupPos int
@@ -98,6 +113,14 @@ func New(sched *sim.Scheduler, med *medium.Medium, id medium.NodeID, opts Option
 		cw:           opts.CWmin,
 		backoffSlots: -1,
 	}
+	m.resumeFn = m.resumeAccess
+	m.difsFn = m.onDIFS
+	m.slotFn = m.onSlot
+	m.timeoutFn = m.onExchangeTimeout
+	m.startDataFn = m.startData
+	m.dataEndFn = m.onDataEnd
+	m.respEndFn = func() { m.respBusy = false; m.resumeAccess() }
+	m.flushFn = func() { m.flushDue = true; m.maybeStartAccess() }
 	med.Attach(id, m)
 	return m
 }
@@ -136,7 +159,7 @@ func (m *MAC) Enqueue(out Outgoing, viaBroadcastQueue bool) bool {
 		m.c.QueueDrops++
 		return false
 	}
-	*q = append(*q, &out)
+	*q = append(*q, out)
 	m.maybeStartAccess()
 	return true
 }
@@ -161,11 +184,8 @@ func (m *MAC) maybeStartAccess() {
 		// Delayed BA: hold the floor request until enough frames queue up,
 		// bounded by the flush timeout so transfer tails drain.
 		if min := m.opts.Scheme.DelayMinFrames; min > 1 && m.queued() < min && !m.flushDue {
-			if m.flushTimer == nil || !m.flushTimer.Pending() {
-				m.flushTimer = m.sched.After(m.opts.FlushTimeout, "mac:flush", func() {
-					m.flushDue = true
-					m.maybeStartAccess()
-				})
+			if !m.flushTimer.Pending() {
+				m.flushTimer = m.sched.After(m.opts.FlushTimeout, "mac:flush", m.flushFn)
 			}
 			return
 		}
@@ -184,10 +204,8 @@ func (m *MAC) resumeAccess() {
 		m.armNavTimer()
 		return
 	}
-	if m.difsTimer != nil {
-		m.difsTimer.Stop()
-	}
-	m.difsTimer = m.sched.After(m.opts.DIFS, "mac:difs", m.onDIFS)
+	m.difsTimer.Stop()
+	m.difsTimer = m.sched.After(m.opts.DIFS, "mac:difs", m.difsFn)
 }
 
 // armNavTimer schedules an access resume at NAV expiry (physical idleness
@@ -196,10 +214,10 @@ func (m *MAC) armNavTimer() {
 	if m.sched.Now() >= m.nav {
 		return
 	}
-	if m.navTimer != nil && m.navTimer.Pending() {
+	if m.navTimer.Pending() {
 		return
 	}
-	m.navTimer = m.sched.At(m.nav, "mac:navExpiry", func() { m.resumeAccess() })
+	m.navTimer = m.sched.At(m.nav, "mac:navExpiry", m.resumeFn)
 }
 
 func (m *MAC) onDIFS() {
@@ -219,25 +237,23 @@ func (m *MAC) tickSlot() {
 		m.transmitNow()
 		return
 	}
-	m.slotTimer = m.sched.After(m.opts.Slot, "mac:slot", func() {
-		if m.mediumBusy() {
-			return // frozen; resumeAccess will restart from DIFS
-		}
-		m.backoffSlots--
-		m.c.BackoffTime += m.opts.Slot
-		m.tickSlot()
-	})
+	m.slotTimer = m.sched.After(m.opts.Slot, "mac:slot", m.slotFn)
+}
+
+func (m *MAC) onSlot() {
+	if m.mediumBusy() {
+		return // frozen; resumeAccess will restart from DIFS
+	}
+	m.backoffSlots--
+	m.c.BackoffTime += m.opts.Slot
+	m.tickSlot()
 }
 
 // freezeAccess cancels pending DIFS/slot timers; the backoff counter value
 // is preserved (802.11 backoff freezing).
 func (m *MAC) freezeAccess() {
-	if m.difsTimer != nil {
-		m.difsTimer.Stop()
-	}
-	if m.slotTimer != nil {
-		m.slotTimer.Stop()
-	}
+	m.difsTimer.Stop()
+	m.slotTimer.Stop()
 }
 
 // transmitNow fires when the DCF acquires the floor: assemble (or reuse the
@@ -265,7 +281,7 @@ func (m *MAC) transmitNow() {
 			return
 		}
 	}
-	m.sendData(agg, false)
+	m.sendData(false)
 }
 
 // exchangeTail is the on-air time left after the data frame: SIFS+ACK when
@@ -291,37 +307,45 @@ func (m *MAC) sendRTS(agg *frame.Aggregate) {
 	m.c.ControlTime += air
 	m.state = stAwaitCTS
 	timeout := air + m.opts.SIFS + m.med.ControlAirtime(&cts) + m.opts.TimeoutSlack
-	m.respTimer = m.sched.After(timeout, "mac:ctsTimeout", m.onExchangeTimeout)
+	m.respTimer = m.sched.After(timeout, "mac:ctsTimeout", m.timeoutFn)
 }
 
-// sendData launches the aggregate, afterCTS marks the SIFS-deferred variant.
-func (m *MAC) sendData(agg *frame.Aggregate, afterCTS bool) {
-	start := func() {
-		m.state = stSending
-		m.stampDurations(agg)
-		air := m.med.TransmitAggregate(m.id, agg)
-		m.accountDataTx(agg, air)
-		m.sched.After(air, "mac:dataEnd", func() {
-			if !agg.HasUnicast() {
-				m.completeSuccess()
-				return
-			}
-			m.state = stAwaitAck
-			ack := frame.Control{Type: frame.TypeAck}
-			if m.opts.BlockAck {
-				ack.Type = frame.TypeBlockAck
-			}
-			timeout := m.opts.SIFS + m.med.ControlAirtime(&ack) + m.opts.TimeoutSlack
-			m.respTimer = m.sched.After(timeout, "mac:ackTimeout", m.onExchangeTimeout)
-		})
-	}
+// sendData launches m.current (the active exchange bundle); afterCTS marks
+// the SIFS-deferred variant. The data-path callbacks read m.current rather
+// than capturing the aggregate: it cannot change between here and dataEnd
+// (only the ack/timeout handlers replace it, and they are unreachable while
+// the frame is still on the air).
+func (m *MAC) sendData(afterCTS bool) {
 	if afterCTS {
 		m.state = stSIFSData
 		m.c.IFSTime += 2 * m.opts.SIFS // RTS→CTS and CTS→DATA gaps
-		m.sched.After(m.opts.SIFS, "mac:sifsData", start)
+		m.sched.After(m.opts.SIFS, "mac:sifsData", m.startDataFn)
 	} else {
-		start()
+		m.startData()
 	}
+}
+
+func (m *MAC) startData() {
+	agg := m.current
+	m.state = stSending
+	m.stampDurations(agg)
+	air := m.med.TransmitAggregate(m.id, agg)
+	m.accountDataTx(agg, air)
+	m.sched.After(air, "mac:dataEnd", m.dataEndFn)
+}
+
+func (m *MAC) onDataEnd() {
+	if !m.current.HasUnicast() {
+		m.completeSuccess()
+		return
+	}
+	m.state = stAwaitAck
+	ack := frame.Control{Type: frame.TypeAck}
+	if m.opts.BlockAck {
+		ack.Type = frame.TypeBlockAck
+	}
+	timeout := m.opts.SIFS + m.med.ControlAirtime(&ack) + m.opts.TimeoutSlack
+	m.respTimer = m.sched.After(timeout, "mac:ackTimeout", m.timeoutFn)
 }
 
 // stampDurations writes the NAV reservation into every subframe; only the
@@ -479,7 +503,7 @@ func (m *MAC) RxControl(src medium.NodeID, c frame.Control, snrdB float64) {
 				// receiver's RTS measurement.
 				rc.OnFeedback(m.current.Unicast[0].Addr1, snrdB)
 			}
-			m.sendData(m.current, true)
+			m.sendData(true)
 			return
 		}
 		m.updateNAV(c.Duration)
@@ -530,10 +554,7 @@ func (m *MAC) transmitResponse(c frame.Control) {
 	m.freezeAccess()
 	m.sched.After(m.opts.SIFS, "mac:respSIFS", func() {
 		air := m.med.TransmitControl(m.id, c)
-		m.sched.After(air, "mac:respEnd", func() {
-			m.respBusy = false
-			m.resumeAccess()
-		})
+		m.sched.After(air, "mac:respEnd", m.respEndFn)
 	})
 }
 
@@ -573,10 +594,10 @@ func (m *MAC) handleBlockAck(bitmap uint16) {
 
 // RxAggregate implements medium.Radio: the §4.2.2 receive process.
 func (m *MAC) RxAggregate(src medium.NodeID, hdr frame.PHYHeader, body []byte) {
-	dec, err := frame.DecodeAggregate(hdr, body)
-	if err != nil {
+	if err := frame.DecodeAggregateInto(&m.rxScratch, hdr, body); err != nil {
 		return
 	}
+	dec := &m.rxScratch
 	// Broadcast portion: deliver each CRC-passing subframe immediately.
 	for _, d := range dec.Broadcast {
 		if !d.CRCOK {
@@ -657,7 +678,7 @@ func (m *MAC) RxAggregate(src medium.NodeID, hdr frame.PHYHeader, body []byte) {
 
 // receiveWithBlockAck delivers passing subframes and acknowledges them with
 // a bitmap (the paper's §7 extension).
-func (m *MAC) receiveWithBlockAck(dec frame.DecodedAggregate) {
+func (m *MAC) receiveWithBlockAck(dec *frame.DecodedAggregate) {
 	var bitmap uint16
 	var ta frame.Addr
 	for i, d := range dec.Unicast {

@@ -34,6 +34,12 @@ type Radio interface {
 	RxControl(src NodeID, c frame.Control, snrdB float64)
 	// RxAggregate delivers an aggregate's PHY header and (possibly
 	// corrupted) body bytes at the end of its airtime.
+	//
+	// The body is shared: every receiver that heard the frame cleanly gets
+	// the same backing array (corrupted receivers get a private copy).
+	// Receivers may retain subslices — the medium never reuses a body — but
+	// MUST NOT write into it; mutating it would corrupt the frame for the
+	// other receivers.
 	RxAggregate(src NodeID, hdr frame.PHYHeader, body []byte)
 }
 
@@ -43,6 +49,10 @@ type link struct {
 	snrdB     float64
 }
 
+// transmission is pooled: Medium recycles finished transmissions (and their
+// collided/interfSNR/spans backing arrays) through a free list, so putting a
+// frame on the air allocates only its marshaled body — which is shared with
+// receivers and therefore the one thing that must not be reused.
 type transmission struct {
 	src        NodeID
 	start, end sim.Time
@@ -53,6 +63,8 @@ type transmission struct {
 	spans      []frame.Span
 	collided   []bool    // per attached node, set when overlap observed
 	interfSNR  []float64 // strongest interferer per node, for capture
+	activeIdx  int       // position in Medium.active, for O(1) removal
+	finishFn   func()    // pooled txEnd callback: m.finish(this)
 }
 
 // Event is one observable channel event, for tracing.
@@ -79,19 +91,11 @@ type Stats struct {
 	AirtimeTotal time.Duration
 }
 
-// newInterf starts every interferer slot far below any real SNR.
-func newInterf(n int) []float64 {
-	s := make([]float64, n)
-	for i := range s {
-		s[i] = -1e9
-	}
-	return s
-}
-
 // Medium is the shared channel.
 type Medium struct {
 	sched  *sim.Scheduler
 	params phy.Params
+	errs   *phy.ErrorCache
 
 	radios []Radio
 	busy   []int // energy-detect refcount per node
@@ -99,6 +103,7 @@ type Medium struct {
 	links  [][]link
 
 	active   []*transmission
+	txFree   []*transmission // recycled transmissions (pooled arrays)
 	stats    Stats
 	observer Observer
 	// captureDB, when > 0, lets the stronger frame of a collision survive
@@ -113,6 +118,7 @@ func New(sched *sim.Scheduler, params phy.Params, n int) *Medium {
 	m := &Medium{
 		sched:  sched,
 		params: params,
+		errs:   phy.NewErrorCache(params),
 		radios: make([]Radio, n),
 		busy:   make([]int, n),
 		txBusy: make([]int, n),
@@ -127,6 +133,37 @@ func New(sched *sim.Scheduler, params phy.Params, n int) *Medium {
 		}
 	}
 	return m
+}
+
+// getTx pops a pooled transmission (or makes the pool's next one) with its
+// per-node arrays reset.
+func (m *Medium) getTx() *transmission {
+	var t *transmission
+	if n := len(m.txFree); n > 0 {
+		t = m.txFree[n-1]
+		m.txFree = m.txFree[:n-1]
+	} else {
+		t = &transmission{
+			collided:  make([]bool, len(m.radios)),
+			interfSNR: make([]float64, len(m.radios)),
+		}
+		t.finishFn = func() { m.finish(t) }
+	}
+	for i := range t.collided {
+		t.collided[i] = false
+		t.interfSNR[i] = -1e9 // far below any real SNR
+	}
+	return t
+}
+
+// putTx recycles a finished transmission. The body is deliberately dropped,
+// not reused: receivers may retain subslices of it (see Radio.RxAggregate).
+func (m *Medium) putTx(t *transmission) {
+	t.body = nil
+	t.spans = t.spans[:0]
+	t.control = frame.Control{}
+	t.hdr = frame.PHYHeader{}
+	m.txFree = append(m.txFree, t)
 }
 
 // Params returns the PHY constants the medium applies.
@@ -208,32 +245,32 @@ func (m *Medium) AggregateAirtime(agg *frame.Aggregate) time.Duration {
 // TransmitControl puts a control frame on the air and returns its airtime.
 func (m *Medium) TransmitControl(src NodeID, c frame.Control) time.Duration {
 	d := m.ControlAirtime(&c)
-	t := &transmission{
-		src: src, start: m.sched.Now(), end: m.sched.Now() + d,
-		isControl: true, control: c,
-		collided:  make([]bool, len(m.radios)),
-		interfSNR: newInterf(len(m.radios)),
-	}
+	t := m.getTx()
+	t.src, t.start, t.end = src, m.sched.Now(), m.sched.Now()+d
+	t.isControl, t.control = true, c
 	m.stats.ControlTx++
-	m.emit(Event{Kind: "tx-ctrl", Src: src, Dst: -1, Dur: d, Info: c.Type.String()})
+	if m.observer != nil {
+		m.emit(Event{Kind: "tx-ctrl", Src: src, Dst: -1, Dur: d, Info: c.Type.String()})
+	}
 	m.launch(t)
 	return d
 }
 
 // TransmitAggregate marshals and puts an aggregate on the air, returning
-// its airtime.
+// its airtime. The body is marshaled exactly once; clean receivers all share
+// it (see Radio.RxAggregate).
 func (m *Medium) TransmitAggregate(src NodeID, agg *frame.Aggregate) time.Duration {
-	body, spans := agg.Marshal()
 	d := m.AggregateAirtime(agg)
-	t := &transmission{
-		src: src, start: m.sched.Now(), end: m.sched.Now() + d,
-		hdr: agg.Header(), body: body, spans: spans,
-		collided:  make([]bool, len(m.radios)),
-		interfSNR: newInterf(len(m.radios)),
-	}
+	t := m.getTx()
+	t.src, t.start, t.end = src, m.sched.Now(), m.sched.Now()+d
+	t.isControl = false
+	t.hdr = agg.Header()
+	t.body, t.spans = agg.AppendMarshal(make([]byte, 0, agg.Bytes()), t.spans[:0])
 	m.stats.AggregateTx++
-	m.emit(Event{Kind: "tx-agg", Src: src, Dst: -1, Dur: d,
-		Info: fmt.Sprintf("%db+%du %dB @%v", len(agg.Broadcast), len(agg.Unicast), agg.Bytes(), agg.UnicastRate)})
+	if m.observer != nil {
+		m.emit(Event{Kind: "tx-agg", Src: src, Dst: -1, Dur: d,
+			Info: fmt.Sprintf("%db+%du %dB @%v", len(agg.Broadcast), len(agg.Unicast), agg.Bytes(), agg.UnicastRate)})
+	}
 	m.launch(t)
 	return d
 }
@@ -268,6 +305,7 @@ func (m *Medium) launch(t *transmission) {
 			}
 		}
 	}
+	t.activeIdx = len(m.active)
 	m.active = append(m.active, t)
 	m.txBusy[t.src]++
 
@@ -283,18 +321,19 @@ func (m *Medium) launch(t *transmission) {
 		}
 	}
 
-	m.sched.After(d, "medium:txEnd", func() { m.finish(t) })
+	m.sched.After(d, "medium:txEnd", t.finishFn)
 }
 
 func (m *Medium) finish(t *transmission) {
 	m.txBusy[t.src]--
-	// Remove from active list.
-	for i, a := range m.active {
-		if a == t {
-			m.active = append(m.active[:i], m.active[i+1:]...)
-			break
-		}
+	// O(1) removal from the active list: swap the tail into our slot.
+	last := len(m.active) - 1
+	if i := t.activeIdx; i != last {
+		m.active[i] = m.active[last]
+		m.active[i].activeIdx = i
 	}
+	m.active[last] = nil
+	m.active = m.active[:last]
 
 	// Deliver to every connected receiver, then release carrier. Delivery
 	// happens before idle notifications so MACs see the frame before they
@@ -316,6 +355,7 @@ func (m *Medium) finish(t *transmission) {
 			m.radios[id].CarrierIdle()
 		}
 	}
+	m.putTx(t)
 }
 
 func (m *Medium) deliver(t *transmission, dst NodeID) {
@@ -390,15 +430,13 @@ func (m *Medium) deliver(t *transmission, dst NodeID) {
 		if m.sched.Rand().Float64() >= p {
 			continue
 		}
+		// Copy-on-corrupt: the shared clean body stays immutable; only a
+		// receiver whose copy of the air was damaged gets private bytes.
 		if !copied {
 			body = append([]byte(nil), t.body...)
 			copied = true
 		}
 		corruptSpan(body[sp.Off:sp.Off+sp.Size], m.sched)
-	}
-	if !copied {
-		// Receivers may retain payload slices; give each its own copy.
-		body = append([]byte(nil), t.body...)
 	}
 	if m.observer != nil {
 		info := "clean"
@@ -410,14 +448,11 @@ func (m *Medium) deliver(t *transmission, dst NodeID) {
 	m.radios[dst].RxAggregate(t.src, t.hdr, body)
 }
 
-// shiftedChunkErr applies a per-link SNR shift on top of the global params.
+// shiftedChunkErr applies a per-link SNR shift on top of the global params,
+// memoized through the medium's phy.ErrorCache (experiments hit a tiny set
+// of {size, rate, offset, shift} keys).
 func (m *Medium) shiftedChunkErr(nBytes int, r phy.Rate, endSample int64, snrShift float64) float64 {
-	if snrShift == 0 {
-		return m.params.ChunkErrorProb(nBytes, r, endSample)
-	}
-	p := m.params
-	p.SNRdB += snrShift
-	return p.ChunkErrorProb(nBytes, r, endSample)
+	return m.errs.ChunkErrorProb(nBytes, r, endSample, snrShift)
 }
 
 // corruptSpan flips a few bits inside the span so the subframe's FCS (or

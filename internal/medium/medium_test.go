@@ -1,6 +1,7 @@
 package medium
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
@@ -315,25 +316,73 @@ func TestAttachTwicePanics(t *testing.T) {
 	m.Attach(0, &fakeRadio{})
 }
 
-func TestDeliveredBodyIsPrivateCopy(t *testing.T) {
+// Zero-copy contract: every receiver that heard the frame cleanly gets the
+// SAME backing array (marshal once, deliver many), and those bytes are
+// exactly the marshaled aggregate. See Radio.RxAggregate.
+func TestCleanDeliverySharesBody(t *testing.T) {
 	s := sim.NewScheduler(1)
 	m := New(s, phy.DefaultParams(), 3)
 	var bodies [][]byte
 	for i := 0; i < 3; i++ {
-		i := i
 		m.Attach(NodeID(i), &captureRadio{onAgg: func(body []byte) {
 			bodies = append(bodies, body)
-			_ = i
 		}})
 	}
 	agg := dataAgg(1, 100, frame.NodeAddr(1))
+	want, _ := agg.Marshal()
 	s.After(0, "tx", func() { m.TransmitAggregate(0, agg) })
 	s.Run()
 	if len(bodies) != 2 {
 		t.Fatalf("got %d bodies", len(bodies))
 	}
-	if &bodies[0][0] == &bodies[1][0] {
-		t.Fatal("receivers share a body buffer; mutation would leak between nodes")
+	if &bodies[0][0] != &bodies[1][0] {
+		t.Fatal("clean receivers should share one immutable body (zero-copy delivery)")
+	}
+	if !bytes.Equal(bodies[0], want) {
+		t.Fatal("shared body differs from the marshaled aggregate")
+	}
+}
+
+// Copy-on-corrupt contract: a receiver whose copy of the air was damaged
+// gets private bytes, and the shared clean body is untouched by the
+// corruption.
+func TestCorruptDeliveryGetsPrivateCopy(t *testing.T) {
+	s := sim.NewScheduler(1)
+	m := New(s, phy.DefaultParams(), 3)
+	var got [3][][]byte
+	for i := 0; i < 3; i++ {
+		i := i
+		m.Attach(NodeID(i), &captureRadio{onAgg: func(body []byte) {
+			got[i] = append(got[i], body)
+		}})
+	}
+	m.SetSNR(0, 1, 4) // node 1 hears a badly degraded copy; node 2 is clean
+	agg := dataAgg(1, 200, frame.NodeAddr(1))
+	want, _ := agg.Marshal()
+	const tries = 60
+	for i := 0; i < tries; i++ {
+		s.After(sim.Time(i)*time.Second, "tx", func() { m.TransmitAggregate(0, agg) })
+	}
+	s.Run()
+	if len(got[2]) != tries {
+		t.Fatalf("clean receiver got %d/%d frames", len(got[2]), tries)
+	}
+	for _, b := range got[2] {
+		if !bytes.Equal(b, want) {
+			t.Fatal("clean receiver saw corrupted bytes: copy-on-corrupt mutated the shared body")
+		}
+	}
+	// Node 1 is delivered before node 2 on every frame, so if its
+	// corruption wrote into the shared body the clean-receiver check above
+	// would have tripped. Here just confirm corruption actually happened.
+	corrupted := 0
+	for _, b := range got[1] {
+		if !bytes.Equal(b, want) {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatalf("no corrupted deliveries in %d tries on a 4 dB link", tries)
 	}
 }
 

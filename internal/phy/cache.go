@@ -1,0 +1,49 @@
+package phy
+
+// chunkKey identifies one chunk-error computation exactly. Experiments hit a
+// tiny set of keys — subframe sizes, rates and airtime offsets repeat from
+// aggregate to aggregate — so an exact-key memo turns the per-span
+// Erfc/Expm1/Log1p chain into a map hit.
+type chunkKey struct {
+	nBytes    int
+	rate      Rate
+	endSample int64
+	snrShift  float64
+}
+
+// ErrorCache memoizes ChunkErrorProb for one fixed Params. The cached values
+// are the exact float64 results of the uncached computation (same operations
+// in the same order), so wiring a cache in cannot change a single RNG
+// comparison — the byte-identical-output guarantee of the golden tests.
+//
+// The cache is not safe for concurrent use; each simulation run owns its
+// own (the parallel runner gives every run a private Medium).
+type ErrorCache struct {
+	params Params
+	m      map[chunkKey]float64
+}
+
+// NewErrorCache returns an empty cache bound to p.
+func NewErrorCache(p Params) *ErrorCache {
+	return &ErrorCache{params: p, m: make(map[chunkKey]float64, 64)}
+}
+
+// ChunkErrorProb returns Params.ChunkErrorProb for the cache's params with
+// SNRdB shifted by snrShift (the per-link adjustment), memoized.
+func (c *ErrorCache) ChunkErrorProb(nBytes int, r Rate, endSample int64, snrShift float64) float64 {
+	k := chunkKey{nBytes: nBytes, rate: r, endSample: endSample, snrShift: snrShift}
+	if p, ok := c.m[k]; ok {
+		return p
+	}
+	params := c.params
+	if snrShift != 0 {
+		params.SNRdB += snrShift
+	}
+	p := params.ChunkErrorProb(nBytes, r, endSample)
+	c.m[k] = p
+	return p
+}
+
+// Len reports how many distinct keys the cache has seen (observability for
+// tests and profiling).
+func (c *ErrorCache) Len() int { return len(c.m) }

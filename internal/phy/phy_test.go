@@ -245,3 +245,47 @@ func TestRateStringAndValid(t *testing.T) {
 		}
 	}
 }
+
+// The memo cache must return bit-identical probabilities to the direct
+// computation for every key shape the medium generates (zero and non-zero
+// per-link SNR shifts included) — the byte-identical-output guarantee.
+func TestErrorCacheMatchesDirect(t *testing.T) {
+	p := DefaultParams()
+	c := NewErrorCache(p)
+	sizes := []int{8, 14, 160, 1464, 5120}
+	ends := []int64{640, 10_000, 119_999, 120_001, 200_000}
+	shifts := []float64{0, -21, -3, 2.5}
+	for _, r := range AllRates() {
+		for _, n := range sizes {
+			for _, end := range ends {
+				for _, shift := range shifts {
+					shifted := p
+					shifted.SNRdB += shift
+					want := shifted.ChunkErrorProb(n, r, end)
+					for pass := 0; pass < 2; pass++ { // miss then hit
+						got := c.ChunkErrorProb(n, r, end, shift)
+						if got != want {
+							t.Fatalf("cache(%d,%v,%d,%g) pass %d = %g, direct %g",
+								n, r, end, shift, pass, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+	keys := len(sizes) * len(ends) * len(shifts) * int(numRates)
+	if c.Len() != keys {
+		t.Fatalf("cache holds %d keys, want %d", c.Len(), keys)
+	}
+}
+
+func TestErrorCacheSteadyStateAllocFree(t *testing.T) {
+	c := NewErrorCache(DefaultParams())
+	c.ChunkErrorProb(1464, Rate2600k, 50_000, 0)
+	allocs := testing.AllocsPerRun(500, func() {
+		c.ChunkErrorProb(1464, Rate2600k, 50_000, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit allocates %v times per op, want 0", allocs)
+	}
+}

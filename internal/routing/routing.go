@@ -121,7 +121,7 @@ type Router struct {
 	seen    map[reqKey]uint8 // best hop count witnessed per request
 	lastTry map[network.NodeID]sim.Time
 	hops    map[network.NodeID]uint8 // installed route quality
-	expiry  map[network.NodeID]*sim.Timer
+	expiry  map[network.NodeID]sim.Timer
 	stats   Stats
 }
 
@@ -141,7 +141,7 @@ func New(sched *sim.Scheduler, node *network.Node, cfg Config) *Router {
 		seen:    make(map[reqKey]uint8),
 		lastTry: make(map[network.NodeID]sim.Time),
 		hops:    make(map[network.NodeID]uint8),
-		expiry:  make(map[network.NodeID]*sim.Timer),
+		expiry:  make(map[network.NodeID]sim.Timer),
 	}
 	node.Handle(Proto, r.onPacket)
 	node.OnNoRoute = r.Discover
@@ -200,9 +200,7 @@ func (r *Router) armExpiry(dst network.NodeID) {
 	if r.cfg.RouteLifetime <= 0 {
 		return
 	}
-	if t := r.expiry[dst]; t != nil {
-		t.Stop()
-	}
+	r.expiry[dst].Stop()
 	r.expiry[dst] = r.sched.After(r.cfg.RouteLifetime, "routing:expire", func() {
 		r.node.DelRoute(dst)
 		delete(r.hops, dst)

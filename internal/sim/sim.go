@@ -5,10 +5,17 @@
 // All simulated components share one *Scheduler. Events scheduled for the
 // same instant fire in the order they were scheduled (FIFO), which keeps
 // runs fully deterministic for a given seed.
+//
+// The event core is allocation-free in steady state: events live in a slab
+// recycled through a free list, the priority queue is a value-based 4-ary
+// index heap over slab slots, and Timer handles are generation-stamped
+// values — scheduling, firing and cancelling events never touches the heap
+// allocator once the slab has grown to the run's high-water mark.
+// Timer.Stop removes the event from the queue immediately (no lazy-cancel
+// tombstones), so Pending is exact and cancelled slots are reused at once.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -19,68 +26,58 @@ import (
 // 2 Msps are 500 ns each — stays exact.
 type Time = time.Duration
 
-// Event is a scheduled callback.
-type Event struct {
-	at     Time
-	seq    uint64 // tie-break: FIFO among equal times
-	fn     func()
-	index  int // heap index, -1 when not queued
-	dead   bool
-	What   string // optional label, used in traces and tests
-	cancel bool
+// event is one slab slot. A slot is queued when pos >= 0; a freed slot bumps
+// gen so stale Timer handles can never cancel its next occupant.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among equal times
+	fn   func()
+	what string // optional label, used in panic messages
+	gen  uint32
+	pos  int32 // index into Scheduler.queue, -1 when not queued
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *Event }
+// Timer is a handle to a scheduled event that can be cancelled. It is a
+// small value (no allocation per timer); the zero Timer is valid and behaves
+// like one that already fired.
+type Timer struct {
+	s    *Scheduler
+	slot int32
+	gen  uint32
+}
 
-// Stop cancels the timer. It reports whether the timer was still pending
-// (false if it already fired or was already stopped).
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead || t.ev.cancel {
+// Stop cancels the timer, removing its event from the queue immediately and
+// recycling the slot. It reports whether the timer was still pending (false
+// if it already fired or was already stopped).
+func (t Timer) Stop() bool {
+	s := t.s
+	if s == nil {
 		return false
 	}
-	t.ev.cancel = true
+	ev := &s.events[t.slot]
+	if ev.gen != t.gen || ev.pos < 0 {
+		return false
+	}
+	s.removeAt(int(ev.pos))
+	s.release(t.slot)
 	return true
 }
 
 // Pending reports whether the timer is still scheduled to fire.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.dead && !t.ev.cancel
-}
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (t Timer) Pending() bool {
+	if t.s == nil {
+		return false
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+	ev := &t.s.events[t.slot]
+	return ev.gen == t.gen && ev.pos >= 0
 }
 
 // Scheduler owns the virtual clock and the pending-event queue.
 type Scheduler struct {
 	now    Time
-	queue  eventQueue
+	events []event // slab; grows to the high-water mark, then stable
+	queue  []int32 // 4-ary min-heap of slab slots, ordered by (at, seq)
+	free   []int32 // recycled slots
 	seq    uint64
 	rng    *rand.Rand
 	ran    uint64
@@ -102,24 +99,36 @@ func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 // EventsRun returns the number of events executed so far.
 func (s *Scheduler) EventsRun() uint64 { return s.ran }
 
-// Pending returns the number of events currently queued (including
-// cancelled-but-unreaped ones).
+// Pending returns the number of events currently queued. Stopped timers are
+// removed immediately, so the count is exact.
 func (s *Scheduler) Pending() int { return len(s.queue) }
 
 // At schedules fn to run at absolute time at. Scheduling in the past panics:
 // that is always a simulation bug, never a recoverable condition.
-func (s *Scheduler) At(at Time, what string, fn func()) *Timer {
+func (s *Scheduler) At(at Time, what string, fn func()) Timer {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", what, at, s.now))
 	}
-	ev := &Event{at: at, seq: s.seq, fn: fn, What: what, index: -1}
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.events = append(s.events, event{})
+		slot = int32(len(s.events) - 1)
+	}
+	ev := &s.events[slot]
+	ev.at, ev.seq, ev.fn, ev.what = at, s.seq, fn, what
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return &Timer{ev: ev}
+	i := len(s.queue)
+	s.queue = append(s.queue, slot)
+	ev.pos = int32(i)
+	s.siftUp(i)
+	return Timer{s: s, slot: slot, gen: ev.gen}
 }
 
 // After schedules fn to run d from now.
-func (s *Scheduler) After(d time.Duration, what string, fn func()) *Timer {
+func (s *Scheduler) After(d time.Duration, what string, fn func()) Timer {
 	return s.At(s.now+d, what, fn)
 }
 
@@ -129,18 +138,18 @@ func (s *Scheduler) Halt() { s.halted = true }
 // Step runs the next pending event, advancing the clock to its deadline.
 // It reports false when no events remain.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*Event)
-		ev.dead = true
-		if ev.cancel {
-			continue
-		}
-		s.now = ev.at
-		s.ran++
-		ev.fn()
-		return true
+	if len(s.queue) == 0 {
+		return false
 	}
-	return false
+	slot := s.queue[0]
+	s.removeAt(0)
+	ev := &s.events[slot]
+	at, fn := ev.at, ev.fn
+	s.release(slot)
+	s.now = at
+	s.ran++
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains or Halt is called.
@@ -159,12 +168,94 @@ func (s *Scheduler) RunUntil(end Time) {
 			break
 		}
 		// Peek: queue[0] is the earliest event.
-		if s.queue[0].at > end {
+		if s.events[s.queue[0]].at > end {
 			break
 		}
 		s.Step()
 	}
 	if s.now < end {
 		s.now = end
+	}
+}
+
+// release recycles a slot: the generation bump invalidates outstanding Timer
+// handles, and dropping fn releases the closure for the GC.
+func (s *Scheduler) release(slot int32) {
+	ev := &s.events[slot]
+	ev.gen++
+	ev.fn = nil
+	ev.what = ""
+	ev.pos = -1
+	s.free = append(s.free, slot)
+}
+
+// less orders two slab slots by (at, seq). The order is total (seq is
+// unique), so any heap arity yields the same pop sequence.
+func (s *Scheduler) less(a, b int32) bool {
+	ea, eb := &s.events[a], &s.events[b]
+	return ea.at < eb.at || (ea.at == eb.at && ea.seq < eb.seq)
+}
+
+// siftUp restores the heap above position i.
+func (s *Scheduler) siftUp(i int) {
+	q := s.queue
+	slot := q[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !s.less(slot, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		s.events[q[i]].pos = int32(i)
+		i = p
+	}
+	q[i] = slot
+	s.events[slot].pos = int32(i)
+}
+
+// siftDown restores the heap below position i.
+func (s *Scheduler) siftDown(i int) {
+	q := s.queue
+	n := len(q)
+	slot := q[i]
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if s.less(q[j], q[best]) {
+				best = j
+			}
+		}
+		if !s.less(q[best], slot) {
+			break
+		}
+		q[i] = q[best]
+		s.events[q[i]].pos = int32(i)
+		i = best
+	}
+	q[i] = slot
+	s.events[slot].pos = int32(i)
+}
+
+// removeAt deletes the queue entry at position i, preserving heap order.
+func (s *Scheduler) removeAt(i int) {
+	n := len(s.queue) - 1
+	last := s.queue[n]
+	s.queue = s.queue[:n]
+	if i == n {
+		return
+	}
+	s.queue[i] = last
+	s.events[last].pos = int32(i)
+	s.siftDown(i)
+	if s.queue[i] == last {
+		s.siftUp(i)
 	}
 }

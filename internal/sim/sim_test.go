@@ -124,6 +124,29 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// RunUntil must never execute an event past its deadline, even when the
+// queue head at the deadline check is a cancelled timer. The lazy-cancel
+// scheduler had exactly this bug: Step() reaped tombstones and then ran the
+// next live event unconditionally, so a cancelled head with at <= end let
+// one event beyond end slip through.
+func TestRunUntilStopsAtDeadlineWithCancelledHead(t *testing.T) {
+	s := NewScheduler(1)
+	tm := s.After(time.Millisecond, "cancelled-head", func() {})
+	ran := false
+	s.After(5*time.Millisecond, "beyond", func() { ran = true })
+	tm.Stop()
+	s.RunUntil(2 * time.Millisecond)
+	if ran {
+		t.Fatal("RunUntil executed an event past its deadline")
+	}
+	if s.Now() != 2*time.Millisecond {
+		t.Fatalf("Now = %v, want 2ms", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+}
+
 func TestRunUntilEmptyAdvancesClock(t *testing.T) {
 	s := NewScheduler(1)
 	s.RunUntil(5 * time.Second)
@@ -225,7 +248,7 @@ func TestPropertyCancellation(t *testing.T) {
 	f := func(delays []uint8, cancelMask []bool) bool {
 		s := NewScheduler(3)
 		fired := make([]bool, len(delays))
-		timers := make([]*Timer, len(delays))
+		timers := make([]Timer, len(delays))
 		for i, d := range delays {
 			i := i
 			timers[i] = s.After(time.Duration(d)*time.Microsecond, "p", func() { fired[i] = true })
@@ -250,11 +273,164 @@ func TestPropertyCancellation(t *testing.T) {
 	}
 }
 
+// Stopping a timer must free its queue slot immediately (no lazy-cancel
+// tombstones lingering until the deadline).
+func TestStopReapsImmediately(t *testing.T) {
+	s := NewScheduler(1)
+	tms := make([]Timer, 10)
+	for i := range tms {
+		tms[i] = s.After(time.Duration(i+1)*time.Millisecond, "x", func() {})
+	}
+	if s.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", s.Pending())
+	}
+	for i := 0; i < 5; i++ {
+		tms[2*i].Stop()
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("Pending after 5 Stops = %d, want 5 (cancelled events must be reaped in place)", s.Pending())
+	}
+	n := 0
+	for s.Step() {
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("ran %d events, want 5", n)
+	}
+}
+
+// A Timer handle from a fired or stopped event must stay inert even after
+// its slab slot is reused by a new event (generation stamps).
+func TestStaleTimerCannotTouchReusedSlot(t *testing.T) {
+	s := NewScheduler(1)
+	old := s.After(time.Millisecond, "old", func() {})
+	if !old.Stop() {
+		t.Fatal("first Stop should succeed")
+	}
+	ran := false
+	fresh := s.After(2*time.Millisecond, "fresh", func() { ran = true })
+	if old.Stop() {
+		t.Fatal("stale handle stopped the slot's new occupant")
+	}
+	if old.Pending() {
+		t.Fatal("stale handle reports pending")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh timer should be pending")
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("fresh event did not run")
+	}
+}
+
+// The zero Timer is valid: Stop and Pending are no-ops.
+func TestZeroTimer(t *testing.T) {
+	var tm Timer
+	if tm.Stop() {
+		t.Fatal("zero Timer Stop should report false")
+	}
+	if tm.Pending() {
+		t.Fatal("zero Timer should not be pending")
+	}
+}
+
+// Steady-state scheduling must not allocate: slots recycle through the free
+// list and Timer handles are values.
+func TestSteadyStateAllocFree(t *testing.T) {
+	s := NewScheduler(1)
+	fn := func() {}
+	// Prime the slab.
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i)*time.Microsecond, "prime", fn)
+	}
+	for s.Step() {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm := s.After(time.Microsecond, "steady", fn)
+		_ = tm.Pending()
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+fire allocates %v times per op, want 0", allocs)
+	}
+}
+
+// Property: interleaving schedules and cancellations at random always pops
+// the survivors in exact (at, seq) order — the heap invariant under Remove.
+func TestPropertyHeapOrderUnderChurn(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewScheduler(9)
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var live []rec
+		var timers []Timer
+		seq := 0
+		for _, op := range ops {
+			if op%5 == 4 && len(timers) > 0 {
+				i := int(op/5) % len(timers)
+				if timers[i].Stop() {
+					// Drop the matching live record (same index: timers
+					// and live grow in lockstep and Stop is idempotent).
+					live[i].seq = -1
+				}
+				continue
+			}
+			at := time.Duration(op%1000) * time.Microsecond
+			k := seq
+			seq++
+			live = append(live, rec{at: at, seq: k})
+			timers = append(timers, s.After(at, "p", func() {}))
+		}
+		var want []rec
+		for _, r := range live {
+			if r.seq >= 0 {
+				want = append(want, r)
+			}
+		}
+		// Expected order: by (at, seq).
+		for i := 1; i < len(want); i++ {
+			for j := i; j > 0 && (want[j].at < want[j-1].at ||
+				(want[j].at == want[j-1].at && want[j].seq < want[j-1].seq)); j-- {
+				want[j], want[j-1] = want[j-1], want[j]
+			}
+		}
+		var got []Time
+		for s.Step() {
+			got = append(got, s.Now())
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i].at {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func BenchmarkSchedulerChurn(b *testing.B) {
 	s := NewScheduler(1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s.After(time.Microsecond, "bench", func() {})
 		s.Step()
+	}
+}
+
+func BenchmarkSchedulerStopChurn(b *testing.B) {
+	s := NewScheduler(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm := s.After(time.Microsecond, "bench", fn)
+		tm.Stop()
 	}
 }

@@ -114,18 +114,20 @@ type Conn struct {
 	rttSeq    uint32
 	rttTime   sim.Time
 	rttValid  bool
-	rtxTimer  *sim.Timer
-	rtoStreak int // consecutive timeouts
+	rtxTimer  sim.Timer
+	rtoFn     func() // stable scheduler callbacks (no per-arm method value)
+	rtoStreak int    // consecutive timeouts
 	finSent   bool
 	finSeq    uint32
 	closeReq  bool
 
 	// Receive side.
-	rcvNxt  uint32
-	reasm   map[uint32][]byte
-	finRcvd bool
-	delAckN int
-	delAckT *sim.Timer
+	rcvNxt   uint32
+	reasm    map[uint32][]byte
+	finRcvd  bool
+	delAckN  int
+	delAckT  sim.Timer
+	delAckFn func()
 
 	// Callbacks into the application.
 	OnEstablished func()
@@ -277,23 +279,19 @@ func (c *Conn) emit(flags uint8, seq uint32, payload []byte) error {
 }
 
 func (c *Conn) armRTO() {
-	if c.rtxTimer != nil && c.rtxTimer.Pending() {
+	if c.rtxTimer.Pending() {
 		return
 	}
-	c.rtxTimer = c.stack.sched.After(c.rto, "tcp:rto", c.onRTO)
+	c.rtxTimer = c.stack.sched.After(c.rto, "tcp:rto", c.rtoFn)
 }
 
 func (c *Conn) rearmRTO() {
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-	}
-	c.rtxTimer = c.stack.sched.After(c.rto, "tcp:rto", c.onRTO)
+	c.rtxTimer.Stop()
+	c.rtxTimer = c.stack.sched.After(c.rto, "tcp:rto", c.rtoFn)
 }
 
 func (c *Conn) stopRTO() {
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-	}
+	c.rtxTimer.Stop()
 }
 
 func (c *Conn) onRTO() {
@@ -587,8 +585,8 @@ func (c *Conn) ackData() {
 		c.flushDelAck()
 		return
 	}
-	if c.delAckT == nil || !c.delAckT.Pending() {
-		c.delAckT = c.stack.sched.After(c.cfg.DelayedAckTimer, "tcp:delack", c.flushDelAck)
+	if !c.delAckT.Pending() {
+		c.delAckT = c.stack.sched.After(c.cfg.DelayedAckTimer, "tcp:delack", c.delAckFn)
 	}
 }
 
@@ -597,9 +595,7 @@ func (c *Conn) flushDelAck() {
 		return
 	}
 	c.delAckN = 0
-	if c.delAckT != nil {
-		c.delAckT.Stop()
-	}
+	c.delAckT.Stop()
 	_ = c.emit(FlagACK, c.sndNxt, nil)
 }
 

@@ -91,6 +91,8 @@ func (st *Stack) newConn(peer network.NodeID, localPort, remotePort uint16) *Con
 	}
 	c.cwnd = float64(st.cfg.InitialCwndSegs * st.cfg.MSS)
 	c.ssthresh = float64(int(st.cfg.Window))
+	c.rtoFn = c.onRTO
+	c.delAckFn = c.flushDelAck
 	st.conns[connKey{peer, localPort, remotePort}] = c
 	return c
 }

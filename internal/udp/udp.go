@@ -140,7 +140,8 @@ type Sender struct {
 	Dropped int
 
 	running bool
-	timer   *sim.Timer
+	timer   sim.Timer
+	tickFn  func() // stable callback for the scheduler (no per-tick closure)
 }
 
 // Start begins generation; it runs until Stop.
@@ -155,6 +156,9 @@ func (s *Sender) Start() {
 	if s.Interval <= 0 {
 		s.Interval = 5 * time.Millisecond
 	}
+	if s.tickFn == nil {
+		s.tickFn = s.tick
+	}
 	if s.QueueTarget <= 0 {
 		s.QueueTarget = 20
 	}
@@ -164,9 +168,7 @@ func (s *Sender) Start() {
 // Stop halts generation.
 func (s *Sender) Stop() {
 	s.running = false
-	if s.timer != nil {
-		s.timer.Stop()
-	}
+	s.timer.Stop()
 }
 
 func (s *Sender) sendOne() {
@@ -196,7 +198,7 @@ func (s *Sender) tick() {
 			s.sendOne()
 		}
 	}
-	s.timer = s.Endpoint.sched.After(s.Interval, "udp:tick", s.tick)
+	s.timer = s.Endpoint.sched.After(s.Interval, "udp:tick", s.tickFn)
 }
 
 // Sink counts delivered datagrams on a port and measures goodput and, for
