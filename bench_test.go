@@ -102,6 +102,45 @@ func BenchmarkTCPStarBA(b *testing.B) {
 	benchTCP(b, core.TCPConfig{Scheme: mac.BA, Rate: phy.Rate2600k, Star: true})
 }
 
+// benchMesh runs one mesh scaling cell per iteration (many concurrent TCP
+// flows over a generated sparse topology), reporting aggregate goodput and
+// simulation speed. The configs come from experiments.ScalingCell, so these
+// benches measure exactly what `aggbench -exp scaling` runs; the Dense
+// variant forces the O(N) dense-scan medium the neighbor index replaced —
+// its simsec/sec against BenchmarkMeshGrid100BA is the tentpole's ≥5x
+// acceptance ratio (see also BenchmarkMediumTx in internal/medium).
+func benchMesh(b *testing.B, cfg core.MeshTCPConfig) {
+	b.Helper()
+	b.ReportAllocs()
+	var res core.MeshResult
+	start := time.Now()
+	var simulated time.Duration
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res = core.RunMeshTCP(cfg)
+		simulated += res.Elapsed
+	}
+	b.ReportMetric(res.AggregateMbps, "Mbps")
+	if wall := time.Since(start).Seconds(); wall > 0 {
+		b.ReportMetric(simulated.Seconds()/wall, "simsec/sec")
+	}
+}
+
+func BenchmarkMeshGrid100BA(b *testing.B) {
+	benchMesh(b, experiments.ScalingCell(core.MeshGrid, mac.BA, 100, 0))
+}
+func BenchmarkMeshGrid400BA(b *testing.B) {
+	benchMesh(b, experiments.ScalingCell(core.MeshGrid, mac.BA, 400, 0))
+}
+func BenchmarkMeshDisk100BA(b *testing.B) {
+	benchMesh(b, experiments.ScalingCell(core.MeshDisk, mac.BA, 100, 0))
+}
+func BenchmarkMeshGrid100BADense(b *testing.B) {
+	cfg := experiments.ScalingCell(core.MeshGrid, mac.BA, 100, 0)
+	cfg.DenseScan = true
+	benchMesh(b, cfg)
+}
+
 // ---- ablation benches (DESIGN.md §5) ----
 
 // AblationRTS: is RTS/CTS worth its cost once frames are aggregated?

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"aggmac/internal/core"
+	"aggmac/internal/experiments"
 	"aggmac/internal/mac"
 	"aggmac/internal/phy"
 )
@@ -28,26 +29,53 @@ type BenchRecord struct {
 	Mbps         float64 `json:"mbps"`
 }
 
-// headlineBenches mirrors the BenchmarkTCP2Hop*/BenchmarkTCPStarBA benches
-// in bench_test.go: same configs, same per-iteration seed derivation, so a
-// `go test -bench` run is directly comparable to a -benchjson record.
-func headlineBenches() []struct {
+// benchCase is one headline benchmark: per iteration it runs a full
+// simulation at the given seed and reports goodput plus simulated time.
+type benchCase struct {
 	Name string
-	Cfg  core.TCPConfig
-} {
-	return []struct {
-		Name string
-		Cfg  core.TCPConfig
-	}{
-		{"BenchmarkTCP2HopNA", core.TCPConfig{Scheme: mac.NA, Rate: phy.Rate2600k, Hops: 2}},
-		{"BenchmarkTCP2HopUA", core.TCPConfig{Scheme: mac.UA, Rate: phy.Rate2600k, Hops: 2}},
-		{"BenchmarkTCP2HopBA", core.TCPConfig{Scheme: mac.BA, Rate: phy.Rate2600k, Hops: 2}},
-		{"BenchmarkTCP2HopDBA", core.TCPConfig{Scheme: mac.DBA, Rate: phy.Rate2600k, Hops: 2}},
-		{"BenchmarkTCPStarBA", core.TCPConfig{Scheme: mac.BA, Rate: phy.Rate2600k, Star: true}},
-	}
+	Run  func(seed int64) (mbps float64, simulated time.Duration)
 }
 
-func measure(cfg core.TCPConfig) BenchRecord {
+func tcpCase(name string, cfg core.TCPConfig) benchCase {
+	return benchCase{Name: name, Run: func(seed int64) (float64, time.Duration) {
+		cfg.Seed = seed
+		res := core.RunTCP(cfg)
+		return res.ThroughputMbps, res.Elapsed
+	}}
+}
+
+func meshCase(name string, cfg core.MeshTCPConfig) benchCase {
+	return benchCase{Name: name, Run: func(seed int64) (float64, time.Duration) {
+		cfg.Seed = seed
+		res := core.RunMeshTCP(cfg)
+		return res.AggregateMbps, res.Elapsed
+	}}
+}
+
+// headlineBenches mirrors the BenchmarkTCP2Hop*/BenchmarkTCPStarBA and
+// BenchmarkMesh* benches in bench_test.go: same configs, same
+// per-iteration seed derivation, so a `go test -bench` run is directly
+// comparable to a -benchjson record. The mesh entries are the scaling
+// experiment's own cells (experiments.ScalingCell); the Dense variant runs
+// the identical scenario on the O(N) dense-scan medium, so the committed
+// baseline pins the neighbor index's speedup.
+func headlineBenches() []benchCase {
+	cases := []benchCase{
+		tcpCase("BenchmarkTCP2HopNA", core.TCPConfig{Scheme: mac.NA, Rate: phy.Rate2600k, Hops: 2}),
+		tcpCase("BenchmarkTCP2HopUA", core.TCPConfig{Scheme: mac.UA, Rate: phy.Rate2600k, Hops: 2}),
+		tcpCase("BenchmarkTCP2HopBA", core.TCPConfig{Scheme: mac.BA, Rate: phy.Rate2600k, Hops: 2}),
+		tcpCase("BenchmarkTCP2HopDBA", core.TCPConfig{Scheme: mac.DBA, Rate: phy.Rate2600k, Hops: 2}),
+		tcpCase("BenchmarkTCPStarBA", core.TCPConfig{Scheme: mac.BA, Rate: phy.Rate2600k, Star: true}),
+		meshCase("BenchmarkMeshGrid100BA", experiments.ScalingCell(core.MeshGrid, mac.BA, 100, 0)),
+		meshCase("BenchmarkMeshGrid400BA", experiments.ScalingCell(core.MeshGrid, mac.BA, 400, 0)),
+		meshCase("BenchmarkMeshDisk100BA", experiments.ScalingCell(core.MeshDisk, mac.BA, 100, 0)),
+	}
+	dense := experiments.ScalingCell(core.MeshGrid, mac.BA, 100, 0)
+	dense.DenseScan = true
+	return append(cases, meshCase("BenchmarkMeshGrid100BADense", dense))
+}
+
+func measure(bc benchCase) BenchRecord {
 	var mbps float64
 	var simulated time.Duration
 	var wall time.Duration
@@ -56,10 +84,9 @@ func measure(cfg core.TCPConfig) BenchRecord {
 		simulated = 0
 		start := time.Now()
 		for i := 0; i < b.N; i++ {
-			cfg.Seed = int64(i + 1)
-			res := core.RunTCP(cfg)
-			simulated += res.Elapsed
-			mbps = res.ThroughputMbps
+			m, sim := bc.Run(int64(i + 1))
+			simulated += sim
+			mbps = m
 		}
 		wall = time.Since(start)
 	})
@@ -77,9 +104,9 @@ func measure(cfg core.TCPConfig) BenchRecord {
 
 func writeBenchJSON(w io.Writer) error {
 	out := make(map[string]BenchRecord)
-	for _, hb := range headlineBenches() {
-		fmt.Fprintf(os.Stderr, "aggbench: benching %s\n", hb.Name)
-		out[hb.Name] = measure(hb.Cfg)
+	for _, bc := range headlineBenches() {
+		fmt.Fprintf(os.Stderr, "aggbench: benching %s\n", bc.Name)
+		out[bc.Name] = measure(bc)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

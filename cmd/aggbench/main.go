@@ -18,6 +18,12 @@
 //	aggbench -progress       # per-run progress lines on stderr
 //	aggbench -list           # list experiment names
 //
+// The mesh scaling experiment takes size/topology overrides:
+//
+//	aggbench -exp scaling                          # N ∈ {25,100,400}, grid+disk
+//	aggbench -exp scaling -mesh-sizes 49,225       # custom network sizes
+//	aggbench -exp scaling -mesh-topos grid,chains  # custom generators
+//
 // Performance tooling (see README "Performance"):
 //
 //	aggbench -cpuprofile cpu.pprof -exp fig7   # profile the hot path
@@ -33,8 +39,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
+	"aggmac/internal/core"
 	"aggmac/internal/experiments"
 	"aggmac/internal/runner"
 )
@@ -53,6 +62,8 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		benchjson  = flag.Bool("benchjson", false, "run the headline benchmarks and emit name → ns/op, allocs/op, simsec/sec as JSON")
 		benchfmt   = flag.String("benchfmt", "", "read a -benchjson file and print it in `go test -bench` text form (benchstat input)")
+		meshSizes  = flag.String("mesh-sizes", "", "scaling experiment: comma list of network sizes (default 25,100,400)")
+		meshTopos  = flag.String("mesh-topos", "", "scaling experiment: comma list of topologies: grid|disk|chains (default grid,disk)")
 	)
 	flag.Parse()
 
@@ -114,6 +125,28 @@ func main() {
 	opts := experiments.Options{Seed: *seed, Quick: *quick, Workers: *parallel}
 	if *progress {
 		opts.Progress = runner.StderrProgress
+	}
+	if *meshSizes != "" {
+		for _, s := range strings.Split(*meshSizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 4 {
+				fmt.Fprintf(os.Stderr, "aggbench: bad -mesh-sizes entry %q\n", s)
+				os.Exit(2)
+			}
+			opts.MeshSizes = append(opts.MeshSizes, n)
+		}
+	}
+	if *meshTopos != "" {
+		for _, s := range strings.Split(*meshTopos, ",") {
+			topo := strings.TrimSpace(s)
+			switch topo {
+			case core.MeshGrid, core.MeshDisk, core.MeshChains:
+				opts.MeshTopos = append(opts.MeshTopos, topo)
+			default:
+				fmt.Fprintf(os.Stderr, "aggbench: bad -mesh-topos entry %q (grid|disk|chains)\n", s)
+				os.Exit(2)
+			}
+		}
 	}
 
 	// JSON/CSV need the whole set before encoding; text mode prints each

@@ -12,6 +12,13 @@
 //	aggsim -traffic udp -scheme ba -hops 1 -agg 8192   # past the cliff
 //	aggsim -traffic tcp -scheme na,ua,ba,dba -rate 0.65,1.3,1.95,2.6 -hops 1,2,3,4
 //	aggsim -traffic udp -scheme ba -rate 1.3 -hops 2 -reps 8 -csv
+//
+// Generated mesh topologies (-topo) run many concurrent TCP flows over a
+// grid, a seeded random disk graph, or parallel chains with cross traffic:
+//
+//	aggsim -topo grid -nodes 100 -flows 8 -scheme ba -rate 2.6
+//	aggsim -topo disk -nodes 400 -flows 33 -file 30000
+//	aggsim -topo chains -chains 4 -chain-hops 4 -cross-flows 2
 package main
 
 import (
@@ -108,6 +115,15 @@ func main() {
 		progress = flag.Bool("progress", false, "sweep: report each completed run on stderr")
 		verbose  = flag.Bool("v", false, "print per-node detail (single run)")
 		doTrace  = flag.Bool("trace", false, "stream the channel timeline to stderr (single run)")
+
+		topo      = flag.String("topo", "", "mesh topology: grid | disk | chains (empty = paper chain/star)")
+		nodes     = flag.Int("nodes", 25, "mesh: node budget (grid rounds down to k²)")
+		flows     = flag.Int("flows", 0, "mesh: concurrent TCP flows (0 = max(2, nodes/10))")
+		chains    = flag.Int("chains", 4, "mesh chains: number of parallel chains")
+		chainHops = flag.Int("chain-hops", 4, "mesh chains: hops per chain")
+		crossFl   = flag.Int("cross-flows", 0, "mesh chains: vertical cross-traffic flows")
+		minHops   = flag.Int("min-hops", 2, "mesh grid/disk: minimum route length for sampled flows")
+		dense     = flag.Bool("dense-scan", false, "mesh: force the O(N) dense-scan medium (perf baseline)")
 	)
 	flag.Parse()
 
@@ -128,6 +144,30 @@ func main() {
 	}
 	if *jsonOut && *csvOut {
 		fatal(fmt.Errorf("-json and -csv are mutually exclusive"))
+	}
+
+	if *topo != "" {
+		switch *topo {
+		case core.MeshGrid, core.MeshDisk, core.MeshChains:
+		default:
+			fatal(fmt.Errorf("unknown -topo %q (grid|disk|chains)", *topo))
+		}
+		if *traffic != "tcp" {
+			fatal(fmt.Errorf("-topo supports TCP traffic only"))
+		}
+		if len(schemes) > 1 || len(rates) > 1 || len(hops) > 1 || *reps > 1 {
+			fatal(fmt.Errorf("-topo cannot be combined with a parameter sweep"))
+		}
+		if *jsonOut || *csvOut {
+			fatal(fmt.Errorf("-json/-csv are not supported in -topo mode"))
+		}
+		runMesh(meshArgs{
+			topo: *topo, scheme: schemes[0], rate: rates[0],
+			nodes: *nodes, flows: *flows, chains: *chains, chainHops: *chainHops,
+			crossFlows: *crossFl, minHops: *minHops, dense: *dense,
+			file: *file, agg: *agg, seed: *seed, verbose: *verbose,
+		})
+		return
 	}
 
 	if len(schemes)*len(rates)*len(hops) > 1 || *reps > 1 {
@@ -300,6 +340,45 @@ func runSingle(a singleArgs) {
 		if a.verbose {
 			printNodes(res.Nodes)
 		}
+	}
+}
+
+type meshArgs struct {
+	topo              string
+	scheme            mac.Scheme
+	rate              phy.Rate
+	nodes, flows      int
+	chains, chainHops int
+	crossFlows        int
+	minHops           int
+	dense             bool
+	file, agg         int
+	seed              int64
+	verbose           bool
+}
+
+func runMesh(a meshArgs) {
+	res := core.RunMeshTCP(core.MeshTCPConfig{
+		Scheme: a.scheme, Rate: a.rate,
+		Topology: a.topo, Nodes: a.nodes, Flows: a.flows,
+		Chains: a.chains, ChainHops: a.chainHops, CrossFlows: a.crossFlows,
+		MinHops: a.minHops, DenseScan: a.dense,
+		FileBytes: a.file, MaxAggBytes: a.agg, Seed: a.seed,
+	})
+	fmt.Printf("scheme=%s rate=%v topology=%s nodes=%d links=%d avg-degree=%.1f\n",
+		a.scheme.Name(), a.rate, a.topo, res.NodeCount, res.LinkCount, res.AvgDegree)
+	for i, f := range res.Flows {
+		fmt.Printf("flow %d: %d->%d (%d hops) %.3f Mbps (done=%v)\n",
+			i, int(f.Server), int(f.Client), f.Hops, f.Mbps, f.Done)
+	}
+	fmt.Printf("aggregate %.3f Mbps across %d flows (min %.3f, mean %.3f), %d/%d done, elapsed %v\n",
+		res.AggregateMbps, len(res.Flows), res.MinMbps, res.MeanMbps,
+		res.FlowsDone, len(res.Flows), res.Elapsed.Round(time.Millisecond))
+	if !res.Completed {
+		fmt.Println("WARNING: not all flows completed before the deadline")
+	}
+	if a.verbose {
+		printNodes(res.Nodes)
 	}
 }
 

@@ -86,6 +86,31 @@ func udpGolden(scheme mac.Scheme) (string, uint64) {
 	return fmt.Sprintf("%x", sha256.Sum256([]byte(w.String()))), res.EventsRun
 }
 
+// meshGolden pins large-topology determinism the same way: the full result
+// of a seeded many-flow mesh run — per-flow goodput bits, per-node
+// counters, event count — hashed. Grid and random-disk layouts are both
+// covered so generator placement, bridging, and shortest-path routing stay
+// deterministic too.
+func meshGolden(topo string, scheme mac.Scheme) (string, uint64) {
+	res := core.RunMeshTCP(core.MeshTCPConfig{
+		Scheme: scheme, Rate: phy.Rate2600k,
+		Topology: topo, Nodes: 16, Flows: 3,
+		FileBytes: 15_000, Seed: 1,
+	})
+	var w strings.Builder
+	fmt.Fprintf(&w, "mesh topo=%s scheme=%s nodes=%d links=%d deg=%s completed=%v elapsed=%d events=%d\n",
+		topo, scheme.Name(), res.NodeCount, res.LinkCount, hexFloat(res.AvgDegree),
+		res.Completed, int64(res.Elapsed), res.EventsRun)
+	fmt.Fprintf(&w, "agg=%s min=%s mean=%s done=%d\n",
+		hexFloat(res.AggregateMbps), hexFloat(res.MinMbps), hexFloat(res.MeanMbps), res.FlowsDone)
+	for _, f := range res.Flows {
+		fmt.Fprintf(&w, "flow %d->%d hops=%d done=%v finish=%d mbps=%s\n",
+			int(f.Server), int(f.Client), f.Hops, f.Done, int64(f.Finish), hexFloat(f.Mbps))
+	}
+	hashNodes(&w, res.Nodes)
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(w.String()))), res.EventsRun
+}
+
 func goldenSchemes() []mac.Scheme {
 	return []mac.Scheme{mac.NA, mac.UA, mac.BA, mac.DBA}
 }
@@ -97,6 +122,12 @@ func runGoldens() map[string]goldenEntry {
 		got["tcp/"+s.Name()] = goldenEntry{Hash: h, EventsRun: ev}
 		h, ev = udpGolden(s)
 		got["udp/"+s.Name()] = goldenEntry{Hash: h, EventsRun: ev}
+	}
+	for _, s := range []mac.Scheme{mac.NA, mac.UA, mac.BA} {
+		h, ev := meshGolden(core.MeshGrid, s)
+		got["mesh-grid/"+s.Name()] = goldenEntry{Hash: h, EventsRun: ev}
+		h, ev = meshGolden(core.MeshDisk, s)
+		got["mesh-disk/"+s.Name()] = goldenEntry{Hash: h, EventsRun: ev}
 	}
 	return got
 }

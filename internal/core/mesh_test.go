@@ -1,0 +1,115 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"aggmac/internal/mac"
+	"aggmac/internal/phy"
+)
+
+func quickMeshCfg() MeshTCPConfig {
+	return MeshTCPConfig{
+		Scheme: mac.BA, Rate: phy.Rate2600k,
+		Topology: MeshGrid, Nodes: 9, Flows: 2,
+		FileBytes: 10_000, Seed: 1,
+		Deadline: 600 * time.Second,
+	}
+}
+
+func TestRunMeshTCPGrid(t *testing.T) {
+	res := RunMeshTCP(quickMeshCfg())
+	if res.NodeCount != 9 {
+		t.Fatalf("grid built %d nodes, want 9", res.NodeCount)
+	}
+	if len(res.Flows) != 2 {
+		t.Fatalf("planned %d flows, want 2", len(res.Flows))
+	}
+	if !res.Completed || res.FlowsDone != 2 {
+		t.Fatalf("flows incomplete: %+v", res.Flows)
+	}
+	if res.AggregateMbps <= 0 || res.MinMbps <= 0 {
+		t.Fatalf("no goodput: agg=%v min=%v", res.AggregateMbps, res.MinMbps)
+	}
+	for _, f := range res.Flows {
+		if f.Hops < 2 {
+			t.Errorf("flow %d->%d has %d hops, want >= MinHops(2)", f.Server, f.Client, f.Hops)
+		}
+	}
+	// Someone must have forwarded: these are multi-hop flows.
+	relays := 0
+	for _, n := range res.Nodes {
+		if n.Role == "relay" {
+			relays++
+		}
+	}
+	if relays == 0 {
+		t.Error("no relay nodes in a multi-hop mesh run")
+	}
+}
+
+func TestRunMeshTCPDeterministic(t *testing.T) {
+	a := RunMeshTCP(quickMeshCfg())
+	b := RunMeshTCP(quickMeshCfg())
+	if a.EventsRun != b.EventsRun {
+		t.Fatalf("EventsRun diverged: %d vs %d", a.EventsRun, b.EventsRun)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical configs produced different results")
+	}
+}
+
+// TestRunMeshTCPDenseScanEquivalent pins the tentpole's end-to-end safety:
+// the neighbor-indexed medium and the seed's dense-scan path produce
+// bit-identical mesh simulations — same event count, same goodput floats,
+// same per-node counters.
+func TestRunMeshTCPDenseScanEquivalent(t *testing.T) {
+	fast := RunMeshTCP(quickMeshCfg())
+	cfg := quickMeshCfg()
+	cfg.DenseScan = true
+	dense := RunMeshTCP(cfg)
+	if fast.EventsRun != dense.EventsRun {
+		t.Fatalf("EventsRun diverged: indexed %d, dense %d", fast.EventsRun, dense.EventsRun)
+	}
+	if !reflect.DeepEqual(fast, dense) {
+		t.Fatal("indexed and dense-scan mesh runs diverged")
+	}
+}
+
+func TestRunMeshTCPChainsWithCrossTraffic(t *testing.T) {
+	res := RunMeshTCP(MeshTCPConfig{
+		Scheme: mac.UA, Rate: phy.Rate2600k,
+		Topology: MeshChains, Chains: 3, ChainHops: 3, CrossFlows: 1,
+		FileBytes: 8_000, Seed: 2,
+		Deadline: 600 * time.Second,
+	})
+	if res.NodeCount != 12 {
+		t.Fatalf("chains built %d nodes, want 12", res.NodeCount)
+	}
+	if len(res.Flows) != 4 { // 3 per-chain + 1 cross
+		t.Fatalf("planned %d flows, want 4", len(res.Flows))
+	}
+	cross := res.Flows[3]
+	if cross.Hops != 2 {
+		t.Errorf("cross flow spans %d hops, want 2 (3 chains)", cross.Hops)
+	}
+	if !res.Completed {
+		t.Fatalf("chains run incomplete: %+v", res.Flows)
+	}
+}
+
+func TestRunMeshTCPDisk(t *testing.T) {
+	res := RunMeshTCP(MeshTCPConfig{
+		Scheme: mac.NA, Rate: phy.Rate2600k,
+		Topology: MeshDisk, Nodes: 16, Flows: 2,
+		FileBytes: 6_000, Seed: 3,
+		Deadline: 600 * time.Second,
+	})
+	if res.NodeCount != 16 {
+		t.Fatalf("disk built %d nodes, want 16", res.NodeCount)
+	}
+	if len(res.Flows) != 2 || !res.Completed {
+		t.Fatalf("disk run incomplete: %+v", res.Flows)
+	}
+}

@@ -54,6 +54,12 @@ type Options struct {
 	Workers int
 	// Progress, when set, receives one callback per completed run.
 	Progress func(runner.Progress)
+	// MeshSizes overrides the scaling experiment's network sizes
+	// (default 25, 100, 400); cmd/aggbench's -mesh-sizes flag sets it.
+	MeshSizes []int
+	// MeshTopos overrides the scaling experiment's topology generators
+	// (default grid and disk); cmd/aggbench's -mesh-topos flag sets it.
+	MeshTopos []string
 }
 
 func (o Options) udpDur() time.Duration {
@@ -114,6 +120,11 @@ func (p *plan) tcp(key string, cfg core.TCPConfig, sink func(core.TCPResult)) {
 func (p *plan) udp(key string, cfg core.UDPConfig, sink func(core.UDPResult)) {
 	p.specs = append(p.specs, runner.Spec{Key: key, UDP: &cfg})
 	p.sinks = append(p.sinks, func(r runner.Result) { sink(*r.UDP) })
+}
+
+func (p *plan) mesh(key string, cfg core.MeshTCPConfig, sink func(core.MeshResult)) {
+	p.specs = append(p.specs, runner.Spec{Key: key, Mesh: &cfg})
+	p.sinks = append(p.sinks, func(r runner.Result) { sink(*r.Mesh) })
 }
 
 // run executes the accumulated matrix and dispatches sinks in order. A run
@@ -548,5 +559,6 @@ func All() []Experiment {
 		{"table8", Table8},
 		{"ext-fairness", ExtensionFairness},
 		{"ext-delay", ExtensionDelay},
+		{"scaling", ScalingMesh},
 	}
 }

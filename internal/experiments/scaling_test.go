@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+
+	"aggmac/internal/core"
+)
+
+func TestScalingMeshShape(t *testing.T) {
+	// Small sizes keep the test quick; the structure is what matters here.
+	o := Options{Seed: 1, MeshSizes: []int{16, 25}, MeshTopos: []string{core.MeshGrid}}
+	tab := ScalingMesh(o)
+	if len(tab.Columns) != 2 || tab.Columns[0] != "N16" || tab.Columns[1] != "N25" {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+	if len(tab.Rows) != 3 { // grid × {NA, UA, BA}
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r.Values) != 2 {
+			t.Fatalf("row %q has %d values", r.Label, len(r.Values))
+		}
+		for i, v := range r.Values {
+			if v <= 0 {
+				t.Errorf("row %q col %d: aggregate goodput %v", r.Label, i, v)
+			}
+		}
+	}
+	if tab.Rows[0].Label != "grid NA" || tab.Rows[2].Label != "grid BA" {
+		t.Errorf("row labels = %q, %q, %q", tab.Rows[0].Label, tab.Rows[1].Label, tab.Rows[2].Label)
+	}
+}
+
+func TestScalingDefaults(t *testing.T) {
+	var o Options
+	if got := o.meshSizes(); len(got) != 3 || got[0] != 25 || got[2] != 400 {
+		t.Errorf("default sizes = %v", got)
+	}
+	if got := o.meshTopos(); len(got) != 2 || got[0] != core.MeshGrid || got[1] != core.MeshDisk {
+		t.Errorf("default topos = %v", got)
+	}
+	if scalingFlows(25) != 4 || scalingFlows(100) != 8 || scalingFlows(400) != 33 {
+		t.Errorf("flow sizing: %d/%d/%d", scalingFlows(25), scalingFlows(100), scalingFlows(400))
+	}
+}

@@ -1,0 +1,203 @@
+package medium
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"aggmac/internal/frame"
+	"aggmac/internal/phy"
+	"aggmac/internal/sim"
+)
+
+// checkIndexAgainstMatrix asserts, for every source, that the incremental
+// neighbor index equals what a fresh scan of the dense link matrix (the
+// oracle) produces: exactly the connected non-self destinations, ascending.
+func checkIndexAgainstMatrix(t *testing.T, m *Medium, step int) {
+	t.Helper()
+	n := len(m.radios)
+	for src := 0; src < n; src++ {
+		var want []NodeID
+		for dst := 0; dst < n; dst++ {
+			if m.Connected(NodeID(src), NodeID(dst)) {
+				want = append(want, NodeID(dst))
+			}
+		}
+		got := m.Neighbors(NodeID(src))
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(append([]NodeID(nil), got...), want) {
+			t.Fatalf("step %d: Neighbors(%d) = %v, matrix oracle %v", step, src, got, want)
+		}
+		if m.Degree(NodeID(src)) != len(want) {
+			t.Fatalf("step %d: Degree(%d) = %d, want %d", step, src, m.Degree(NodeID(src)), len(want))
+		}
+	}
+}
+
+// TestNeighborIndexMatchesMatrixOracle churns the connectivity setters —
+// bidirectional cuts/restores, asymmetric directed edits, SNR overrides,
+// self-link no-ops, redundant repeats — and checks the neighbor index
+// against the dense matrix after every few steps.
+func TestNeighborIndexMatchesMatrixOracle(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		n     int
+		start func(s *sim.Scheduler, n int) *Medium
+	}{
+		{"from-full", 17, func(s *sim.Scheduler, n int) *Medium {
+			return New(s, phy.DefaultParams(), n)
+		}},
+		{"from-empty", 17, func(s *sim.Scheduler, n int) *Medium {
+			return NewUnconnected(s, phy.DefaultParams(), n)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := sim.NewScheduler(7)
+			m := tc.start(s, tc.n)
+			checkIndexAgainstMatrix(t, m, -1)
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < 4000; i++ {
+				a := NodeID(rng.Intn(tc.n))
+				b := NodeID(rng.Intn(tc.n))
+				on := rng.Intn(2) == 0
+				switch rng.Intn(6) {
+				case 0:
+					m.SetConnected(a, b, on)
+				case 1:
+					m.SetConnectedDirected(a, b, on) // asymmetric link
+				case 2:
+					m.SetSNR(a, b, float64(rng.Intn(30)))
+				case 3:
+					m.SetConnected(a, a, on) // self-link: must be a no-op
+				case 4:
+					// Redundant repeat: setting the current state again.
+					m.SetConnectedDirected(a, b, m.Connected(a, b))
+				case 5:
+					m.SetConnectedDirected(a, b, on)
+					m.SetSNR(a, b, 3+float64(rng.Intn(25)))
+				}
+				if i%101 == 0 {
+					checkIndexAgainstMatrix(t, m, i)
+				}
+			}
+			checkIndexAgainstMatrix(t, m, 4000)
+		})
+	}
+}
+
+// runEquivalenceScenario drives an identical randomized partial-mesh
+// traffic pattern through the medium and returns everything observable:
+// per-radio reception/carrier counts and the channel stats. dense selects
+// the seed's O(N) scan path; the default is the neighbor index. Both must
+// produce bit-identical observations (same RNG draw sequence included).
+func runEquivalenceScenario(t *testing.T, dense bool) ([]fakeRadio, Stats) {
+	t.Helper()
+	const n = 14
+	s := sim.NewScheduler(5)
+	m := New(s, phy.DefaultParams(), n)
+	m.SetDenseScan(dense)
+
+	// Randomized sparse topology, including asymmetric cuts and per-link
+	// SNR spread. Node 9 stays detached (nil radio): the collision loops
+	// must skip it.
+	rng := rand.New(rand.NewSource(99))
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			switch rng.Intn(4) {
+			case 0:
+				m.SetConnected(NodeID(a), NodeID(b), false)
+			case 1:
+				m.SetConnectedDirected(NodeID(a), NodeID(b), false)
+			case 2:
+				m.SetSNR(NodeID(a), NodeID(b), 6+float64(rng.Intn(22)))
+			}
+		}
+	}
+	radios := make([]fakeRadio, n)
+	for i := 0; i < n; i++ {
+		if i == 9 {
+			continue
+		}
+		m.Attach(NodeID(i), &radios[i])
+	}
+
+	// Overlapping traffic: staggered controls and aggregates from many
+	// sources, close enough in time to collide at shared receivers.
+	at := time.Duration(0)
+	for round := 0; round < 40; round++ {
+		src := NodeID((round * 5) % n)
+		if src == 9 {
+			src = 10
+		}
+		src2 := NodeID((round*7 + 3) % n)
+		if src2 == 9 {
+			src2 = 8
+		}
+		c := frame.Control{Type: frame.TypeCTS, RA: frame.Broadcast}
+		agg := dataAgg(1+round%3, 400, frame.NodeAddr(int((src+1)%n)))
+		rsrc, rsrc2 := src, src2
+		s.After(at, "tx-ctrl", func() { m.TransmitControl(rsrc, c) })
+		s.After(at+40*time.Microsecond, "tx-agg", func() { m.TransmitAggregate(rsrc2, agg) })
+		at += 3 * time.Millisecond
+	}
+	s.Run()
+	return radios, m.Stats()
+}
+
+// TestIndexedMatchesDenseScan pins the equivalence of the neighbor-indexed
+// hot paths to the dense-scan oracle on a randomized partial mesh with
+// collisions, asymmetric links, SNR spread, and a detached radio.
+func TestIndexedMatchesDenseScan(t *testing.T) {
+	fastRadios, fastStats := runEquivalenceScenario(t, false)
+	denseRadios, denseStats := runEquivalenceScenario(t, true)
+	if fastStats != denseStats {
+		t.Errorf("stats diverged:\nindexed: %+v\ndense:   %+v", fastStats, denseStats)
+	}
+	for i := range fastRadios {
+		f, d := &fastRadios[i], &denseRadios[i]
+		if f.busyEdges != d.busyEdges || f.idleEdges != d.idleEdges {
+			t.Errorf("radio %d carrier edges diverged: indexed %d/%d dense %d/%d",
+				i, f.busyEdges, f.idleEdges, d.busyEdges, d.idleEdges)
+		}
+		if !reflect.DeepEqual(f.ctrls, d.ctrls) || !reflect.DeepEqual(f.ctrlSrcs, d.ctrlSrcs) {
+			t.Errorf("radio %d control receptions diverged", i)
+		}
+		if !reflect.DeepEqual(f.snrs, d.snrs) {
+			t.Errorf("radio %d reported SNRs diverged", i)
+		}
+		if !reflect.DeepEqual(f.aggs, d.aggs) || !reflect.DeepEqual(f.aggSrcs, d.aggSrcs) {
+			t.Errorf("radio %d aggregate receptions diverged", i)
+		}
+	}
+}
+
+// TestUnconnectedMediumDefaults: a virgin NewUnconnected medium hears
+// nothing, and connecting a link gives it the calibrated default SNR.
+func TestUnconnectedMediumDefaults(t *testing.T) {
+	s := sim.NewScheduler(1)
+	p := phy.DefaultParams()
+	m := NewUnconnected(s, p, 3)
+	r := &fakeRadio{}
+	m.Attach(1, r)
+	m.Attach(0, &fakeRadio{})
+	s.After(0, "tx", func() { m.TransmitControl(0, frame.Control{Type: frame.TypeCTS, RA: frame.NodeAddr(1)}) })
+	s.Run()
+	if len(r.ctrls) != 0 || r.busyEdges != 0 {
+		t.Fatal("unconnected medium delivered a frame")
+	}
+	if m.Degree(0) != 0 {
+		t.Fatalf("unconnected Degree = %d", m.Degree(0))
+	}
+	m.SetConnected(0, 1, true)
+	s.After(time.Millisecond, "tx", func() { m.TransmitControl(0, frame.Control{Type: frame.TypeCTS, RA: frame.NodeAddr(1)}) })
+	s.Run()
+	if len(r.ctrls) != 1 {
+		t.Fatalf("connected link delivered %d frames, want 1", len(r.ctrls))
+	}
+	if r.snrs[0] != p.SNRdB {
+		t.Fatalf("default link SNR = %v, want %v", r.snrs[0], p.SNRdB)
+	}
+}

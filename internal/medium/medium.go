@@ -7,10 +7,25 @@
 // (multi-hop topologies are forced by static routing), so the default
 // connectivity is a single collision domain; links can be cut or given
 // per-link SNR for extension experiments.
+//
+// # Complexity model
+//
+// Per-transmission cost is proportional to the transmitter's neighborhood
+// degree, not the network size. The medium maintains an incrementally
+// sorted out-neighbor list per node (updated by SetConnected /
+// SetConnectedDirected in O(deg) each); every transmission captures its
+// audience — the attached radios in range — exactly once at launch, and
+// carrier sensing, collision marking, delivery and carrier release all
+// iterate that audience. Collision bookkeeping resets through a dirty-mark
+// list, so recycling a transmission is O(marked), not O(N). The dense N×N
+// link matrix remains the source of truth (and the test oracle that the
+// neighbor index is checked against); SetDenseScan restores the seed's
+// scan-every-radio behavior for equivalence tests and benchmarks.
 package medium
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"aggmac/internal/frame"
@@ -50,9 +65,9 @@ type link struct {
 }
 
 // transmission is pooled: Medium recycles finished transmissions (and their
-// collided/interfSNR/spans backing arrays) through a free list, so putting a
-// frame on the air allocates only its marshaled body — which is shared with
-// receivers and therefore the one thing that must not be reused.
+// audience/collided/interfSNR/spans backing arrays) through a free list, so
+// putting a frame on the air allocates only its marshaled body — which is
+// shared with receivers and therefore the one thing that must not be reused.
 type transmission struct {
 	src        NodeID
 	start, end sim.Time
@@ -61,10 +76,34 @@ type transmission struct {
 	hdr        frame.PHYHeader
 	body       []byte
 	spans      []frame.Span
-	collided   []bool    // per attached node, set when overlap observed
-	interfSNR  []float64 // strongest interferer per node, for capture
-	activeIdx  int       // position in Medium.active, for O(1) removal
-	finishFn   func()    // pooled txEnd callback: m.finish(this)
+	// audience is the set of attached in-range radios, captured once at
+	// launch (ascending node id); energy detect, collision marking,
+	// delivery and carrier release all iterate it.
+	audience  []NodeID
+	collided  []bool    // per node id, set when overlap observed
+	interfSNR []float64 // strongest interferer per node, for capture
+	// marked lists the node ids whose collided/interfSNR entries were
+	// touched, so recycling resets O(marked) entries instead of O(N).
+	marked []NodeID
+	// dense records which launch path put this frame on the air, so finish
+	// stays consistent even if SetDenseScan is flipped mid-flight.
+	dense     bool
+	activeIdx int    // position in Medium.active, for O(1) removal
+	finishFn  func() // pooled txEnd callback: m.finish(this)
+}
+
+// addInterf records that dst's copy of this transmission overlapped an
+// interferer heard at snrdB, keeping the strongest interferer for capture.
+func (t *transmission) addInterf(dst NodeID, snrdB float64) {
+	if !t.collided[dst] {
+		t.collided[dst] = true
+		t.interfSNR[dst] = snrdB
+		t.marked = append(t.marked, dst)
+		return
+	}
+	if snrdB > t.interfSNR[dst] {
+		t.interfSNR[dst] = snrdB
+	}
 }
 
 // Event is one observable channel event, for tracing.
@@ -101,6 +140,16 @@ type Medium struct {
 	busy   []int // energy-detect refcount per node
 	txBusy []int // outstanding own transmissions per node (half duplex)
 	links  [][]link
+	// nbrs[src] lists, in ascending node id, every dst with
+	// links[src][dst].connected — the nodes that can hear src. It is
+	// maintained incrementally by the connectivity setters and is what the
+	// hot paths iterate; the dense matrix stays authoritative (the
+	// property tests check the index against it).
+	nbrs [][]NodeID
+	// denseScan, when set, makes launch/finish scan every radio against
+	// the link matrix (the seed behavior) instead of using the neighbor
+	// index. It exists as a test oracle and benchmark baseline.
+	denseScan bool
 
 	active   []*transmission
 	txFree   []*transmission // recycled transmissions (pooled arrays)
@@ -115,6 +164,27 @@ type Medium struct {
 
 // New creates a medium for up to n nodes, fully connected at params.SNRdB.
 func New(sched *sim.Scheduler, params phy.Params, n int) *Medium {
+	m := newMedium(sched, params, n)
+	for i := range m.links {
+		for j := range m.links[i] {
+			if i != j {
+				m.links[i][j].connected = true
+				m.nbrs[i] = append(m.nbrs[i], NodeID(j))
+			}
+		}
+	}
+	return m
+}
+
+// NewUnconnected creates a medium for up to n nodes with every link cut
+// (SNR defaults to params.SNRdB once connected). Topology generators wire
+// sparse meshes onto it with SetConnected/SetSNR; starting empty keeps
+// construction O(E) instead of tearing down O(N²) default links.
+func NewUnconnected(sched *sim.Scheduler, params phy.Params, n int) *Medium {
+	return newMedium(sched, params, n)
+}
+
+func newMedium(sched *sim.Scheduler, params phy.Params, n int) *Medium {
 	m := &Medium{
 		sched:  sched,
 		params: params,
@@ -123,20 +193,22 @@ func New(sched *sim.Scheduler, params phy.Params, n int) *Medium {
 		busy:   make([]int, n),
 		txBusy: make([]int, n),
 		links:  make([][]link, n),
+		nbrs:   make([][]NodeID, n),
 	}
 	for i := range m.links {
 		m.links[i] = make([]link, n)
 		for j := range m.links[i] {
 			if i != j {
-				m.links[i][j] = link{connected: true, snrdB: params.SNRdB}
+				m.links[i][j].snrdB = params.SNRdB
 			}
 		}
 	}
 	return m
 }
 
-// getTx pops a pooled transmission (or makes the pool's next one) with its
-// per-node arrays reset.
+// getTx pops a pooled transmission (or makes the pool's next one). The
+// collided/interfSNR entries were already reset by putTx via the dirty-mark
+// list, so acquisition is O(1) regardless of network size.
 func (m *Medium) getTx() *transmission {
 	var t *transmission
 	if n := len(m.txFree); n > 0 {
@@ -149,18 +221,21 @@ func (m *Medium) getTx() *transmission {
 		}
 		t.finishFn = func() { m.finish(t) }
 	}
-	for i := range t.collided {
-		t.collided[i] = false
-		t.interfSNR[i] = -1e9 // far below any real SNR
-	}
 	return t
 }
 
-// putTx recycles a finished transmission. The body is deliberately dropped,
-// not reused: receivers may retain subslices of it (see Radio.RxAggregate).
+// putTx recycles a finished transmission, clearing only the collision
+// entries the run actually marked. The body is deliberately dropped, not
+// reused: receivers may retain subslices of it (see Radio.RxAggregate).
 func (m *Medium) putTx(t *transmission) {
 	t.body = nil
 	t.spans = t.spans[:0]
+	t.audience = t.audience[:0]
+	for _, id := range t.marked {
+		t.collided[id] = false
+	}
+	t.marked = t.marked[:0]
+	t.dense = false
 	t.control = frame.Control{}
 	t.hdr = frame.PHYHeader{}
 	m.txFree = append(m.txFree, t)
@@ -193,14 +268,43 @@ func (m *Medium) Attach(id NodeID, r Radio) {
 
 // SetConnected cuts or restores the bidirectional link between a and b.
 func (m *Medium) SetConnected(a, b NodeID, connected bool) {
-	m.links[a][b].connected = connected
-	m.links[b][a].connected = connected
+	m.SetConnectedDirected(a, b, connected)
+	m.SetConnectedDirected(b, a, connected)
 }
 
 // SetConnectedDirected cuts or restores only the from→to direction
-// (asymmetric links; useful for failure injection).
+// (asymmetric links; useful for failure injection). The from-node's
+// neighbor list is updated in place, O(deg).
 func (m *Medium) SetConnectedDirected(from, to NodeID, connected bool) {
+	if from == to {
+		return // self-links are meaningless (Connected is always false)
+	}
+	if m.links[from][to].connected == connected {
+		return
+	}
 	m.links[from][to].connected = connected
+	if connected {
+		m.nbrs[from] = insertSorted(m.nbrs[from], to)
+	} else {
+		m.nbrs[from] = removeSorted(m.nbrs[from], to)
+	}
+}
+
+// insertSorted adds id to the ascending list (caller guarantees absence).
+func insertSorted(s []NodeID, id NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+// removeSorted deletes id from the ascending list (caller guarantees
+// presence).
+func removeSorted(s []NodeID, id NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
 }
 
 // SetCapture enables physical-layer capture: a frame survives a collision
@@ -216,6 +320,21 @@ func (m *Medium) SetSNR(a, b NodeID, snrdB float64) {
 
 // Connected reports whether b can hear a.
 func (m *Medium) Connected(a, b NodeID) bool { return a != b && m.links[a][b].connected }
+
+// Neighbors returns the nodes that can hear src, in ascending id order.
+// The slice is the medium's live index: callers must not modify it and must
+// not retain it across connectivity changes.
+func (m *Medium) Neighbors(src NodeID) []NodeID { return m.nbrs[src] }
+
+// Degree returns how many nodes can hear src.
+func (m *Medium) Degree(src NodeID) int { return len(m.nbrs[src]) }
+
+// SetDenseScan switches the medium between the neighbor-indexed hot paths
+// (default) and the seed's dense scan over every radio. The two are
+// behaviorally identical — the equivalence tests assert it — but dense
+// scanning costs O(N) per transmission; it is kept as a test oracle and as
+// the baseline the scaling benchmarks compare against.
+func (m *Medium) SetDenseScan(dense bool) { m.denseScan = dense }
 
 // CarrierBusy reports whether node id currently senses energy from others.
 func (m *Medium) CarrierBusy(id NodeID) bool { return m.busy[id] > 0 }
@@ -275,34 +394,47 @@ func (m *Medium) TransmitAggregate(src NodeID, agg *frame.Aggregate) time.Durati
 	return d
 }
 
+// captureAudience fills t.audience with every attached radio in range of
+// t.src, ascending by node id, by walking the neighbor list: O(deg).
+func (m *Medium) captureAudience(t *transmission) {
+	t.audience = t.audience[:0]
+	for _, nid := range m.nbrs[t.src] {
+		if m.radios[nid] != nil {
+			t.audience = append(t.audience, nid)
+		}
+	}
+}
+
 func (m *Medium) launch(t *transmission) {
+	if m.denseScan {
+		m.launchDense(t)
+		return
+	}
 	d := t.end - t.start
 	m.stats.AirtimeTotal += d
+	m.captureAudience(t)
 
 	// Mark collisions both ways against transmissions already on the air,
 	// and deafen in-progress receptions at the new transmitter (half
 	// duplex: transmitting while a frame is arriving loses that frame).
+	// Only the new frame's audience needs scanning: a node outside it
+	// cannot hear t, so neither reception there can newly overlap t. Nodes
+	// with no radio attached are skipped outright — the seed marked
+	// collided/interfSNR for them too, wasted work nothing ever read.
 	for _, other := range m.active {
 		if other.end <= t.start {
 			continue
 		}
 		// The new transmitter deafens itself to in-flight receptions; its
 		// own signal is infinitely strong, so capture can never save them.
-		other.collided[t.src] = true
-		other.interfSNR[t.src] = 1e9
-		for id := range m.radios {
-			nid := NodeID(id)
-			bothAudible := m.Connected(t.src, nid) && m.Connected(other.src, nid)
-			if bothAudible {
-				t.collided[id] = true
-				other.collided[id] = true
-				if s := m.links[other.src][nid].snrdB; s > t.interfSNR[id] {
-					t.interfSNR[id] = s
-				}
-				if s := m.links[t.src][nid].snrdB; s > other.interfSNR[id] {
-					other.interfSNR[id] = s
-				}
+		other.addInterf(t.src, 1e9)
+		for _, nid := range t.audience {
+			if !m.Connected(other.src, nid) {
+				continue
 			}
+			// nid hears both transmitters: both frames are damaged there.
+			t.addInterf(nid, m.links[other.src][nid].snrdB)
+			other.addInterf(nid, m.links[t.src][nid].snrdB)
 		}
 	}
 	t.activeIdx = len(m.active)
@@ -310,6 +442,41 @@ func (m *Medium) launch(t *transmission) {
 	m.txBusy[t.src]++
 
 	// Energy detect at every node in range.
+	for _, nid := range t.audience {
+		m.busy[nid]++
+		if m.busy[nid] == 1 {
+			m.radios[nid].CarrierBusy()
+		}
+	}
+
+	m.sched.After(d, "medium:txEnd", t.finishFn)
+}
+
+// launchDense is the seed's launch: collision marking and energy detect
+// each scan every node id, O(N) (and O(active·N) for marking) regardless
+// of how few are in range. Kept verbatim in cost so the scaling benchmarks
+// compare the neighbor index against the real pre-index behavior; the
+// equivalence tests pin that both paths observe identical channels.
+func (m *Medium) launchDense(t *transmission) {
+	d := t.end - t.start
+	m.stats.AirtimeTotal += d
+	t.dense = true
+	for _, other := range m.active {
+		if other.end <= t.start {
+			continue
+		}
+		other.addInterf(t.src, 1e9)
+		for id := range m.radios {
+			nid := NodeID(id)
+			if m.Connected(t.src, nid) && m.Connected(other.src, nid) {
+				t.addInterf(nid, m.links[other.src][nid].snrdB)
+				other.addInterf(nid, m.links[t.src][nid].snrdB)
+			}
+		}
+	}
+	t.activeIdx = len(m.active)
+	m.active = append(m.active, t)
+	m.txBusy[t.src]++
 	for id := range m.radios {
 		nid := NodeID(id)
 		if m.radios[id] == nil || !m.Connected(t.src, nid) {
@@ -320,7 +487,6 @@ func (m *Medium) launch(t *transmission) {
 			m.radios[id].CarrierBusy()
 		}
 	}
-
 	m.sched.After(d, "medium:txEnd", t.finishFn)
 }
 
@@ -335,9 +501,30 @@ func (m *Medium) finish(t *transmission) {
 	m.active[last] = nil
 	m.active = m.active[:last]
 
-	// Deliver to every connected receiver, then release carrier. Delivery
-	// happens before idle notifications so MACs see the frame before they
-	// resume backoff.
+	if t.dense {
+		m.finishDense(t)
+		return
+	}
+	// Deliver to the audience captured at launch, then release carrier.
+	// Delivery happens before idle notifications so MACs see the frame
+	// before they resume backoff. Using the launch-time audience keeps the
+	// busy refcount balanced even if connectivity changed mid-flight (the
+	// seed re-evaluated the matrix here and could leak a refcount).
+	for _, nid := range t.audience {
+		m.deliver(t, nid)
+	}
+	for _, nid := range t.audience {
+		m.busy[nid]--
+		if m.busy[nid] == 0 {
+			m.radios[nid].CarrierIdle()
+		}
+	}
+	m.putTx(t)
+}
+
+// finishDense is the seed's finish: two more O(N) scans (deliver, then
+// release carrier) plus an O(N) collision-state reset on recycle.
+func (m *Medium) finishDense(t *transmission) {
 	for id := range m.radios {
 		nid := NodeID(id)
 		if m.radios[id] == nil || !m.Connected(t.src, nid) {
@@ -355,6 +542,12 @@ func (m *Medium) finish(t *transmission) {
 			m.radios[id].CarrierIdle()
 		}
 	}
+	// The seed reset every per-node entry on reuse; reproduce that cost.
+	for i := range t.collided {
+		t.collided[i] = false
+		t.interfSNR[i] = -1e9
+	}
+	t.marked = t.marked[:0]
 	m.putTx(t)
 }
 

@@ -1,0 +1,78 @@
+// Static shortest-path route computation for generated mesh topologies.
+// The paper's testbed forces multi-hop paths with static routes; mesh
+// scenarios do the same at scale: instead of flooding AODV discoveries
+// through hundreds of nodes, the generators compute hop-count shortest
+// paths over the connectivity graph up front and install them into the
+// network layer's tables, so transports start with full reachability.
+package routing
+
+import "aggmac/internal/network"
+
+// InstallShortestPaths computes hop-count shortest-path next hops by a BFS
+// per destination over the given adjacency and installs them into every
+// node's routing table (network.Node.AddRoute). neighbors(i) must list the
+// nodes adjacent to i in ascending order and must be symmetric (mesh
+// generators derive it from bidirectional links); ties between equal-length
+// paths break toward the lowest-id next hop, so the tables — and every
+// simulation run on top of them — are deterministic. Unreachable pairs get
+// no route. Cost is O(N·(N+E)); it returns the number of routes installed.
+func InstallShortestPaths(nodes []*network.Node, neighbors func(i int) []int) int {
+	n := len(nodes)
+	next := make([]int, n)  // next hop toward the current destination
+	queue := make([]int, n) // BFS ring
+	installed := 0
+	for d := 0; d < n; d++ {
+		for i := range next {
+			next[i] = -1
+		}
+		next[d] = d
+		queue[0] = d
+		head, tail := 0, 1
+		for head < tail {
+			u := queue[head]
+			head++
+			for _, v := range neighbors(u) {
+				if next[v] != -1 {
+					continue
+				}
+				// v reaches d through u: u is one hop closer.
+				next[v] = u
+				queue[tail] = v
+				tail++
+			}
+		}
+		for v := 0; v < n; v++ {
+			if v == d || next[v] == -1 {
+				continue
+			}
+			nodes[v].AddRoute(network.NodeID(d), network.NodeID(next[v]))
+			installed++
+		}
+	}
+	return installed
+}
+
+// Distances returns the hop distance from src to every node over the given
+// adjacency (-1 where unreachable) — the batch complement of
+// InstallShortestPaths for callers that need reachability or path lengths
+// without installing routes (the topology tests validate generated-mesh
+// connectivity with it).
+func Distances(n int, neighbors func(i int) []int, src int) []int {
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int, 1, n)
+	queue[0] = src
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range neighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}

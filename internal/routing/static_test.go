@@ -1,0 +1,68 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+
+	"aggmac/internal/network"
+)
+
+// path graph 0-1-2-3 plus a shortcut 0-3: shortest paths must prefer it.
+func diamondAdj() func(i int) []int {
+	adj := [][]int{
+		0: {1, 3},
+		1: {0, 2},
+		2: {1, 3},
+		3: {0, 2},
+	}
+	return func(i int) []int { return adj[i] }
+}
+
+func TestInstallShortestPaths(t *testing.T) {
+	nodes := make([]*network.Node, 4)
+	for i := range nodes {
+		nodes[i] = network.NewNode(network.NodeID(i))
+	}
+	installed := InstallShortestPaths(nodes, diamondAdj())
+	if installed != 12 { // every ordered pair of the connected 4-node graph
+		t.Errorf("installed %d routes, want 12", installed)
+	}
+	// 1 reaches 3 in two hops either way; the tie must break toward the
+	// lowest-id next hop (0), deterministically.
+	if next, ok := nodes[1].Route(3); !ok || next != 0 {
+		t.Errorf("route 1->3 via %v (ok=%v), want via 0", next, ok)
+	}
+	// 2's route to 0 ties between 1 and 3; lowest id wins.
+	if next, ok := nodes[2].Route(0); !ok || next != 1 {
+		t.Errorf("route 2->0 via %v (ok=%v), want via 1", next, ok)
+	}
+	// Direct neighbors route directly.
+	if next, _ := nodes[0].Route(3); next != 3 {
+		t.Errorf("route 0->3 via %v, want direct", next)
+	}
+}
+
+func TestInstallShortestPathsDisconnected(t *testing.T) {
+	adj := [][]int{0: {1}, 1: {0}, 2: {}}
+	nodes := make([]*network.Node, 3)
+	for i := range nodes {
+		nodes[i] = network.NewNode(network.NodeID(i))
+	}
+	if installed := InstallShortestPaths(nodes, func(i int) []int { return adj[i] }); installed != 2 {
+		t.Errorf("installed %d routes, want 2", installed)
+	}
+	if _, ok := nodes[0].Route(2); ok {
+		t.Error("route to unreachable node installed")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	got := Distances(4, diamondAdj(), 1)
+	if want := []int{1, 0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Distances = %v, want %v", got, want)
+	}
+	adj := [][]int{0: {}, 1: {}}
+	if got := Distances(2, func(i int) []int { return adj[i] }, 0); got[1] != -1 {
+		t.Errorf("unreachable distance = %d, want -1", got[1])
+	}
+}

@@ -27,9 +27,10 @@ import (
 // Spec is one declarative simulation run: a stable key (identity for seed
 // derivation and progress display) plus exactly one traffic config.
 type Spec struct {
-	Key string
-	TCP *core.TCPConfig
-	UDP *core.UDPConfig
+	Key  string
+	TCP  *core.TCPConfig
+	UDP  *core.UDPConfig
+	Mesh *core.MeshTCPConfig
 }
 
 // Result is one completed run, indexed by its spec's position.
@@ -38,6 +39,7 @@ type Result struct {
 	Key   string
 	TCP   *core.TCPResult
 	UDP   *core.UDPResult
+	Mesh  *core.MeshResult
 	// Wall is the wall-clock cost of this run (not simulated time).
 	Wall time.Duration
 	// Err is non-nil when the spec was malformed, the sim panicked, or the
@@ -45,14 +47,16 @@ type Result struct {
 	Err error
 }
 
-// ThroughputMbps returns the run's headline metric: end-to-end TCP goodput
-// or UDP sink goodput.
+// ThroughputMbps returns the run's headline metric: end-to-end TCP goodput,
+// UDP sink goodput, or a mesh run's aggregate goodput across its flows.
 func (r Result) ThroughputMbps() float64 {
 	switch {
 	case r.TCP != nil:
 		return r.TCP.ThroughputMbps
 	case r.UDP != nil:
 		return r.UDP.ThroughputMbps
+	case r.Mesh != nil:
+		return r.Mesh.AggregateMbps
 	}
 	return 0
 }
@@ -163,18 +167,21 @@ func runOne(i int, s Spec) (res Result) {
 		res.Wall = time.Since(start)
 		if r := recover(); r != nil {
 			res.Err = fmt.Errorf("runner: run %q panicked: %v", s.Key, r)
-			res.TCP, res.UDP = nil, nil
+			res.TCP, res.UDP, res.Mesh = nil, nil, nil
 		}
 	}()
 	switch {
-	case s.TCP != nil && s.UDP == nil:
+	case s.TCP != nil && s.UDP == nil && s.Mesh == nil:
 		r := core.RunTCP(*s.TCP)
 		res.TCP = &r
-	case s.UDP != nil && s.TCP == nil:
+	case s.UDP != nil && s.TCP == nil && s.Mesh == nil:
 		r := core.RunUDP(*s.UDP)
 		res.UDP = &r
+	case s.Mesh != nil && s.TCP == nil && s.UDP == nil:
+		r := core.RunMeshTCP(*s.Mesh)
+		res.Mesh = &r
 	default:
-		res.Err = fmt.Errorf("runner: spec %q must set exactly one of TCP or UDP", s.Key)
+		res.Err = fmt.Errorf("runner: spec %q must set exactly one of TCP, UDP or Mesh", s.Key)
 	}
 	return res
 }

@@ -126,15 +126,34 @@ func TestCancellationMidSweep(t *testing.T) {
 func TestMalformedSpecs(t *testing.T) {
 	tcp := &core.TCPConfig{Scheme: mac.NA, Rate: phy.Rate1300k, Seed: 1}
 	udp := &core.UDPConfig{Scheme: mac.NA, Rate: phy.Rate1300k, Seed: 1, Duration: time.Second}
+	mesh := &core.MeshTCPConfig{Scheme: mac.NA, Rate: phy.Rate1300k, Seed: 1}
 	specs := []Spec{
 		{Key: "both", TCP: tcp, UDP: udp},
 		{Key: "neither"},
+		{Key: "tcp+mesh", TCP: tcp, Mesh: mesh},
 	}
 	res := run(t, 2, specs)
 	for i, r := range res {
 		if r.Err == nil {
 			t.Errorf("spec %d (%s): no error for malformed spec", i, r.Key)
 		}
+	}
+}
+
+// TestMeshSpec: a mesh spec runs through the pool and reports its
+// aggregate goodput as the headline metric.
+func TestMeshSpec(t *testing.T) {
+	mesh := &core.MeshTCPConfig{
+		Scheme: mac.BA, Rate: phy.Rate2600k,
+		Topology: core.MeshGrid, Nodes: 9, Flows: 2,
+		FileBytes: 8_000, Seed: 1,
+	}
+	res := run(t, 1, []Spec{{Key: "mesh", Mesh: mesh}})
+	if res[0].Err != nil || res[0].Mesh == nil {
+		t.Fatalf("mesh spec failed: %+v", res[0].Err)
+	}
+	if got := res[0].ThroughputMbps(); got != res[0].Mesh.AggregateMbps || got <= 0 {
+		t.Errorf("headline metric %v, aggregate %v", got, res[0].Mesh.AggregateMbps)
 	}
 }
 

@@ -1,0 +1,288 @@
+// Mesh topology generators: the spatially sparse, multi-collision-domain
+// layouts real deployments have (grids, random disk graphs, parallel
+// chains), as opposed to the paper's single collision domain. Connectivity
+// and per-link SNR derive from node positions through a disk radio model;
+// shortest-path routes are computed up front (internal/routing) so the
+// stacks start with full reachability. Per-transmission simulation cost on
+// these layouts is O(degree), not O(N) — see the medium's complexity model.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"aggmac/internal/medium"
+	"aggmac/internal/routing"
+)
+
+// Point is a node position, in units of the nominal node spacing.
+type Point struct{ X, Y float64 }
+
+func (p Point) dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// RadioModel derives link existence and quality from distance: nodes
+// within Range hear each other, at the reference SNR up to unit distance
+// and log-distance path loss beyond it.
+type RadioModel struct {
+	// Range is the connectivity radius. The default 1.5 gives grid nodes
+	// their 8-neighborhood (orthogonal at d=1, diagonal at √2).
+	Range float64
+	// RefSNRdB is the link SNR at unit distance and closer; it defaults to
+	// the PHY's calibrated SNRdB.
+	RefSNRdB float64
+	// Exponent is the path-loss exponent applied beyond unit distance
+	// (default 3.5, an urban/indoor multi-hop figure).
+	Exponent float64
+}
+
+// SNRAt returns the link SNR at distance d.
+func (rm RadioModel) SNRAt(d float64) float64 {
+	if d <= 1 {
+		return rm.RefSNRdB
+	}
+	return rm.RefSNRdB - 10*rm.Exponent*math.Log10(d)
+}
+
+// MeshConfig parameterizes a mesh build.
+type MeshConfig struct {
+	Config
+	// Radio overrides the disk radio model; a zero Range selects the
+	// default model at the PHY's calibrated SNR.
+	Radio RadioModel
+}
+
+func (c *MeshConfig) radio() RadioModel {
+	rm := c.Radio
+	if rm.Range <= 0 {
+		rm.Range = 1.5
+	}
+	if rm.RefSNRdB == 0 {
+		rm.RefSNRdB = c.Phy.SNRdB
+	}
+	if rm.Exponent <= 0 {
+		rm.Exponent = 3.5
+	}
+	return rm
+}
+
+// Mesh is a generated multi-collision-domain network.
+type Mesh struct {
+	*Network
+	// Pos holds each node's position.
+	Pos []Point
+	// LinkCount is the number of bidirectional links wired.
+	LinkCount int
+	// Bridged counts links added beyond radio range to join disconnected
+	// components (random layouts only).
+	Bridged int
+}
+
+// newMesh builds nodes at the given positions and wires every pair within
+// radio range with a distance-derived SNR. Routes are not yet installed.
+func newMesh(pos []Point, cfg MeshConfig) *Mesh {
+	n := len(pos)
+	net := buildOn(medium.NewUnconnected, n, cfg.Config)
+	rm := cfg.radio()
+	m := &Mesh{Network: net, Pos: pos}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			d := pos[a].dist(pos[b])
+			if d > rm.Range {
+				continue
+			}
+			m.connect(a, b, rm.SNRAt(d))
+		}
+	}
+	return m
+}
+
+func (m *Mesh) connect(a, b int, snrdB float64) {
+	m.Medium.SetConnected(medium.NodeID(a), medium.NodeID(b), true)
+	m.Medium.SetSNR(medium.NodeID(a), medium.NodeID(b), snrdB)
+	m.LinkCount++
+}
+
+// neighbors adapts the medium's neighbor index (ascending ids) for the
+// routing package's BFS.
+func (m *Mesh) neighbors() func(i int) []int {
+	adj := make([][]int, len(m.Nodes))
+	for i := range adj {
+		nbrs := m.Medium.Neighbors(medium.NodeID(i))
+		adj[i] = make([]int, len(nbrs))
+		for j, id := range nbrs {
+			adj[i][j] = int(id)
+		}
+	}
+	return func(i int) []int { return adj[i] }
+}
+
+// installRoutes computes and installs shortest-path next hops everywhere.
+func (m *Mesh) installRoutes() {
+	routing.InstallShortestPaths(m.Nodes, m.neighbors())
+}
+
+// bridgeComponents joins disconnected components (possible in random
+// layouts) by linking the globally closest pair of nodes in different
+// components, repeatedly, until the graph is connected. Bridge links carry
+// the SNR of an at-range link — the deployment answer would be "add a
+// relay or a better antenna there".
+func (m *Mesh) bridgeComponents(rm RadioModel) {
+	n := len(m.Nodes)
+	for {
+		comp := m.components()
+		split := false
+		for _, c := range comp {
+			if c > 0 {
+				split = true
+				break
+			}
+		}
+		if !split {
+			return
+		}
+		bestA, bestB, bestD := -1, -1, math.Inf(1)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if comp[a] == comp[b] {
+					continue
+				}
+				if d := m.Pos[a].dist(m.Pos[b]); d < bestD {
+					bestA, bestB, bestD = a, b, d
+				}
+			}
+		}
+		m.connect(bestA, bestB, rm.SNRAt(rm.Range))
+		m.Bridged++
+	}
+}
+
+// components labels each node with its connected-component index (labels
+// are assigned in ascending order of the component's lowest node id).
+func (m *Mesh) components() []int {
+	n := len(m.Nodes)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = next
+		queue := []int{s}
+		for head := 0; head < len(queue); head++ {
+			for _, v := range m.Medium.Neighbors(medium.NodeID(queue[head])) {
+				if comp[v] == -1 {
+					comp[v] = next
+					queue = append(queue, int(v))
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// AvgDegree is the mean number of neighbors per node.
+func (m *Mesh) AvgDegree() float64 {
+	if len(m.Nodes) == 0 {
+		return 0
+	}
+	total := 0
+	for i := range m.Nodes {
+		total += m.Medium.Degree(medium.NodeID(i))
+	}
+	return float64(total) / float64(len(m.Nodes))
+}
+
+// HopDistance walks the installed routes from a to b and returns the hop
+// count (-1 if no route).
+func (m *Mesh) HopDistance(a, b int) int {
+	if a == b {
+		return 0
+	}
+	hops := 0
+	cur := a
+	for cur != b {
+		next, ok := m.Nodes[cur].Route(m.Nodes[b].ID())
+		if !ok {
+			return -1
+		}
+		cur = int(next)
+		if hops++; hops > len(m.Nodes) {
+			return -1 // defensive: a routing loop would spin forever
+		}
+	}
+	return hops
+}
+
+// NewGrid builds a k×k grid mesh at unit spacing with shortest-path routes
+// installed. With the default radio model every interior node has its
+// 8-neighborhood; per-transmission cost is O(degree) however large k grows.
+func NewGrid(k int, cfg MeshConfig) *Mesh {
+	if k < 2 {
+		panic(fmt.Sprintf("topology: grid needs k >= 2, got %d", k))
+	}
+	pos := make([]Point, 0, k*k)
+	for r := 0; r < k; r++ {
+		for c := 0; c < k; c++ {
+			pos = append(pos, Point{X: float64(c), Y: float64(r)})
+		}
+	}
+	m := newMesh(pos, cfg)
+	m.installRoutes()
+	return m
+}
+
+// NewRandomDisk scatters n nodes uniformly over a √n × √n area (unit
+// density, so expected degree is fixed as n grows) using a placement
+// stream derived from cfg.Seed but decoupled from the simulation's RNG,
+// connects pairs within radio range, bridges any disconnected components
+// through their closest node pairs, and installs shortest-path routes.
+func NewRandomDisk(n int, cfg MeshConfig) *Mesh {
+	if n < 2 {
+		panic(fmt.Sprintf("topology: disk mesh needs n >= 2, got %d", n))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x6d657368)) // "mesh"
+	side := math.Sqrt(float64(n))
+	pos := make([]Point, n)
+	for i := range pos {
+		pos[i] = Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	m := newMesh(pos, cfg)
+	m.bridgeComponents(cfg.radio())
+	m.installRoutes()
+	return m
+}
+
+// NewParallelChains builds `chains` horizontal chains of hops+1 nodes each
+// (node numbering is row-major: chain i, position j is node i*(hops+1)+j),
+// separated vertically by rowSpacing (0 selects 1.0). At the default
+// spacing adjacent chains are in radio range of each other — distinct
+// linear flows share spectrum and cross-chain routes exist for cross
+// traffic; spacing beyond the radio range isolates the chains into
+// independent collision domains.
+func NewParallelChains(chains, hops int, rowSpacing float64, cfg MeshConfig) *Mesh {
+	if chains < 1 || hops < 1 {
+		panic(fmt.Sprintf("topology: parallel chains need chains >= 1 and hops >= 1, got %d/%d", chains, hops))
+	}
+	if rowSpacing <= 0 {
+		rowSpacing = 1
+	}
+	cols := hops + 1
+	pos := make([]Point, 0, chains*cols)
+	for i := 0; i < chains; i++ {
+		for j := 0; j < cols; j++ {
+			pos = append(pos, Point{X: float64(j), Y: float64(i) * rowSpacing})
+		}
+	}
+	m := newMesh(pos, cfg)
+	m.installRoutes()
+	return m
+}
+
+// ChainNode returns the node id of position idx on the given chain of a
+// NewParallelChains mesh with the given hop count.
+func ChainNode(chain, idx, hops int) int { return chain*(hops+1) + idx }

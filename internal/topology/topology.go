@@ -30,10 +30,18 @@ type Network struct {
 	Nodes  []*network.Node
 }
 
-// build creates n nodes on a fresh scheduler and medium.
+// build creates n nodes on a fresh scheduler and a fully connected medium
+// (the paper's single collision domain).
 func build(n int, cfg Config) *Network {
+	return buildOn(medium.New, n, cfg)
+}
+
+// buildOn creates n nodes on a fresh scheduler and a medium from newMedium
+// (medium.New for the paper's single collision domain, medium.NewUnconnected
+// for generated meshes that wire their own sparse links).
+func buildOn(newMedium func(*sim.Scheduler, phy.Params, int) *medium.Medium, n int, cfg Config) *Network {
 	net := &Network{Sched: sim.NewScheduler(cfg.Seed)}
-	net.Medium = medium.New(net.Sched, cfg.Phy, n)
+	net.Medium = newMedium(net.Sched, cfg.Phy, n)
 	for i := 0; i < n; i++ {
 		node := network.NewNode(network.NodeID(i))
 		m := mac.New(net.Sched, net.Medium, medium.NodeID(i), cfg.OptsFor(i, n), node.Bind())
