@@ -141,6 +141,14 @@ func BenchmarkMeshGrid100BADense(b *testing.B) {
 	benchMesh(b, cfg)
 }
 
+// BenchmarkMeshGridWaypointBA is the mobility experiment's hottest cell
+// (fast nodes, fast updates): it prices the whole time-varying path —
+// waypoint stepping, delta link reconciliation, periodic route
+// recomputation — on top of the usual many-flow traffic.
+func BenchmarkMeshGridWaypointBA(b *testing.B) {
+	benchMesh(b, experiments.MobilityCell(mac.BA, 4, 500*time.Millisecond, 0))
+}
+
 // ---- ablation benches (DESIGN.md §5) ----
 
 // AblationRTS: is RTS/CTS worth its cost once frames are aggregated?

@@ -55,10 +55,11 @@ func meshCase(name string, cfg core.MeshTCPConfig) benchCase {
 // headlineBenches mirrors the BenchmarkTCP2Hop*/BenchmarkTCPStarBA and
 // BenchmarkMesh* benches in bench_test.go: same configs, same
 // per-iteration seed derivation, so a `go test -bench` run is directly
-// comparable to a -benchjson record. The mesh entries are the scaling
-// experiment's own cells (experiments.ScalingCell); the Dense variant runs
-// the identical scenario on the O(N) dense-scan medium, so the committed
-// baseline pins the neighbor index's speedup.
+// comparable to a -benchjson record. The mesh entries are the scaling and
+// mobility experiments' own cells (experiments.ScalingCell /
+// experiments.MobilityCell); the Dense variant runs the identical scenario
+// on the O(N) dense-scan medium, so the committed baseline pins the
+// neighbor index's speedup.
 func headlineBenches() []benchCase {
 	cases := []benchCase{
 		tcpCase("BenchmarkTCP2HopNA", core.TCPConfig{Scheme: mac.NA, Rate: phy.Rate2600k, Hops: 2}),
@@ -72,7 +73,9 @@ func headlineBenches() []benchCase {
 	}
 	dense := experiments.ScalingCell(core.MeshGrid, mac.BA, 100, 0)
 	dense.DenseScan = true
-	return append(cases, meshCase("BenchmarkMeshGrid100BADense", dense))
+	cases = append(cases, meshCase("BenchmarkMeshGrid100BADense", dense))
+	return append(cases, meshCase("BenchmarkMeshGridWaypointBA",
+		experiments.MobilityCell(mac.BA, 4, 500*time.Millisecond, 0)))
 }
 
 func measure(bc benchCase) BenchRecord {

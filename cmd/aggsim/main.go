@@ -19,6 +19,13 @@
 //	aggsim -topo grid -nodes 100 -flows 8 -scheme ba -rate 2.6
 //	aggsim -topo disk -nodes 400 -flows 33 -file 30000
 //	aggsim -topo chains -chains 4 -chain-hops 4 -cross-flows 2
+//
+// Mesh topologies can be made mobile (-mobility): nodes roam under a
+// seeded motion model, links and per-link SNR follow the distances, and
+// shortest-path routes are recomputed every -move-interval:
+//
+//	aggsim -topo grid -mobility waypoint -speed 2 -seed 7
+//	aggsim -topo disk -nodes 49 -mobility drift -speed 4 -move-interval 500ms
 package main
 
 import (
@@ -124,6 +131,11 @@ func main() {
 		crossFl   = flag.Int("cross-flows", 0, "mesh chains: vertical cross-traffic flows")
 		minHops   = flag.Int("min-hops", 2, "mesh grid/disk: minimum route length for sampled flows")
 		dense     = flag.Bool("dense-scan", false, "mesh: force the O(N) dense-scan medium (perf baseline)")
+
+		mobility = flag.String("mobility", "", "mesh: mobility model: waypoint | drift (empty = static)")
+		speed    = flag.Float64("speed", 1, "mesh mobility: node speed in spacing units per second")
+		pause    = flag.Duration("pause", time.Second, "mesh mobility: waypoint dwell time at each target")
+		moveIv   = flag.Duration("move-interval", time.Second, "mesh mobility: position/link/route update interval")
 	)
 	flag.Parse()
 
@@ -146,6 +158,15 @@ func main() {
 		fatal(fmt.Errorf("-json and -csv are mutually exclusive"))
 	}
 
+	switch *mobility {
+	case "", core.MobilityWaypoint, core.MobilityDrift:
+	default:
+		fatal(fmt.Errorf("unknown -mobility %q (waypoint|drift)", *mobility))
+	}
+	if *mobility != "" && *topo == "" {
+		fatal(fmt.Errorf("-mobility requires a mesh topology (-topo grid|disk|chains)"))
+	}
+
 	if *topo != "" {
 		switch *topo {
 		case core.MeshGrid, core.MeshDisk, core.MeshChains:
@@ -165,6 +186,7 @@ func main() {
 			topo: *topo, scheme: schemes[0], rate: rates[0],
 			nodes: *nodes, flows: *flows, chains: *chains, chainHops: *chainHops,
 			crossFlows: *crossFl, minHops: *minHops, dense: *dense,
+			mobility: *mobility, speed: *speed, pause: *pause, moveIv: *moveIv,
 			file: *file, agg: *agg, seed: *seed, verbose: *verbose,
 		})
 		return
@@ -352,6 +374,9 @@ type meshArgs struct {
 	crossFlows        int
 	minHops           int
 	dense             bool
+	mobility          string
+	speed             float64
+	pause, moveIv     time.Duration
 	file, agg         int
 	seed              int64
 	verbose           bool
@@ -363,10 +388,16 @@ func runMesh(a meshArgs) {
 		Topology: a.topo, Nodes: a.nodes, Flows: a.flows,
 		Chains: a.chains, ChainHops: a.chainHops, CrossFlows: a.crossFlows,
 		MinHops: a.minHops, DenseScan: a.dense,
+		Mobility: a.mobility, Speed: a.speed, Pause: a.pause, MoveInterval: a.moveIv,
 		FileBytes: a.file, MaxAggBytes: a.agg, Seed: a.seed,
 	})
 	fmt.Printf("scheme=%s rate=%v topology=%s nodes=%d links=%d avg-degree=%.1f\n",
 		a.scheme.Name(), a.rate, a.topo, res.NodeCount, res.LinkCount, res.AvgDegree)
+	if a.mobility != "" {
+		fmt.Printf("mobility=%s speed=%g interval=%v: %d link ups, %d link downs, %d route flaps over %d recomputes\n",
+			a.mobility, a.speed, a.moveIv,
+			res.LinkUps, res.LinkDowns, res.RouteFlaps, res.RouteRecomputes)
+	}
 	for i, f := range res.Flows {
 		fmt.Printf("flow %d: %d->%d (%d hops) %.3f Mbps (done=%v)\n",
 			i, int(f.Server), int(f.Client), f.Hops, f.Mbps, f.Done)

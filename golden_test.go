@@ -111,6 +111,35 @@ func meshGolden(topo string, scheme mac.Scheme) (string, uint64) {
 	return fmt.Sprintf("%x", sha256.Sum256([]byte(w.String()))), res.EventsRun
 }
 
+// mobilityGolden pins the full time-varying pipeline: a seeded mobile-mesh
+// run — waypoint or drift motion, delta link reconciliation, periodic
+// route recomputation — hashed like meshGolden plus the churn counters
+// (link ups/downs, route flaps, recompute rounds).
+func mobilityGolden(kind string, scheme mac.Scheme, speed float64) (string, uint64) {
+	res := core.RunMeshTCP(core.MeshTCPConfig{
+		Scheme: scheme, Rate: phy.Rate2600k,
+		Topology: core.MeshGrid, Nodes: 16, Flows: 3,
+		FileBytes: 15_000, Seed: 1,
+		Mobility: kind, Speed: speed,
+		Pause: time.Second, MoveInterval: 500 * time.Millisecond,
+		Deadline: 300 * time.Second,
+	})
+	var w strings.Builder
+	fmt.Fprintf(&w, "mobility kind=%s scheme=%s speed=%s nodes=%d links=%d completed=%v elapsed=%d events=%d\n",
+		kind, scheme.Name(), hexFloat(speed), res.NodeCount, res.LinkCount,
+		res.Completed, int64(res.Elapsed), res.EventsRun)
+	fmt.Fprintf(&w, "churn ups=%d downs=%d flaps=%d recomputes=%d\n",
+		res.LinkUps, res.LinkDowns, res.RouteFlaps, res.RouteRecomputes)
+	fmt.Fprintf(&w, "agg=%s min=%s mean=%s done=%d\n",
+		hexFloat(res.AggregateMbps), hexFloat(res.MinMbps), hexFloat(res.MeanMbps), res.FlowsDone)
+	for _, f := range res.Flows {
+		fmt.Fprintf(&w, "flow %d->%d hops=%d done=%v finish=%d mbps=%s\n",
+			int(f.Server), int(f.Client), f.Hops, f.Done, int64(f.Finish), hexFloat(f.Mbps))
+	}
+	hashNodes(&w, res.Nodes)
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(w.String()))), res.EventsRun
+}
+
 func goldenSchemes() []mac.Scheme {
 	return []mac.Scheme{mac.NA, mac.UA, mac.BA, mac.DBA}
 }
@@ -128,6 +157,18 @@ func runGoldens() map[string]goldenEntry {
 		got["mesh-grid/"+s.Name()] = goldenEntry{Hash: h, EventsRun: ev}
 		h, ev = meshGolden(core.MeshDisk, s)
 		got["mesh-disk/"+s.Name()] = goldenEntry{Hash: h, EventsRun: ev}
+	}
+	for _, mc := range []struct {
+		kind   string
+		scheme mac.Scheme
+		speed  float64
+	}{
+		{core.MobilityWaypoint, mac.BA, 2},
+		{core.MobilityWaypoint, mac.NA, 1},
+		{core.MobilityDrift, mac.UA, 4},
+	} {
+		h, ev := mobilityGolden(mc.kind, mc.scheme, mc.speed)
+		got[fmt.Sprintf("mobility-%s/%s", mc.kind, mc.scheme.Name())] = goldenEntry{Hash: h, EventsRun: ev}
 	}
 	return got
 }

@@ -4,6 +4,14 @@
 // 9-node testbed could not reach and the neighbor-indexed medium exists
 // for: per-transmission cost tracks node degree, so networks of hundreds
 // of nodes simulate at the same per-event speed as the paper's chains.
+//
+// With Mobility set the topology itself becomes a function of time: a
+// seeded motion model moves the nodes, links come and go with distance
+// through the medium's incremental connectivity paths, and shortest-path
+// routes are recomputed periodically with route-flap accounting — the
+// regime where hidden-terminal and aggregate-length effects change
+// character (Sharon's aggregation-scheduling work over rapidly varying
+// channels, and TCP-over-mesh fragility generally).
 package core
 
 import (
@@ -15,6 +23,7 @@ import (
 	"aggmac/internal/mac"
 	"aggmac/internal/network"
 	"aggmac/internal/phy"
+	"aggmac/internal/routing"
 	"aggmac/internal/sim"
 	"aggmac/internal/tcp"
 	"aggmac/internal/topology"
@@ -25,6 +34,12 @@ const (
 	MeshGrid   = "grid"   // k×k grid, unit spacing
 	MeshDisk   = "disk"   // seeded uniform placement, disk connectivity
 	MeshChains = "chains" // parallel linear chains, optional cross traffic
+)
+
+// Mobility model names, re-exported from internal/topology.
+const (
+	MobilityWaypoint = topology.MobilityWaypoint
+	MobilityDrift    = topology.MobilityDrift
 )
 
 // MeshTCPConfig describes a many-flow TCP experiment on a generated mesh.
@@ -61,6 +76,19 @@ type MeshTCPConfig struct {
 	// DenseScan forces the medium's O(N) dense-scan oracle instead of the
 	// neighbor index — the baseline the scaling benches compare against.
 	DenseScan bool
+	// Mobility selects a node-motion model: "" (static, the default),
+	// MobilityWaypoint or MobilityDrift. Moving nodes change link
+	// existence and SNR with distance; every MoveInterval the positions
+	// advance, link state is reconciled through the medium's incremental
+	// paths, and shortest-path routes are recomputed.
+	Mobility string
+	// Speed is node speed in spacing units per simulated second
+	// (default 1).
+	Speed float64
+	// Pause is the waypoint model's dwell time at each target.
+	Pause time.Duration
+	// MoveInterval is the mobility tick interval (default 1 s).
+	MoveInterval time.Duration
 	// Tweak adjusts every node's final MAC options.
 	Tweak func(*mac.Options)
 	// TCP overrides the transport config; zero value means defaults.
@@ -98,9 +126,18 @@ type MeshResult struct {
 	Elapsed time.Duration
 	// EventsRun pins the executed-event count for determinism tests.
 	EventsRun uint64
-	// Topology shape actually built.
+	// Topology shape: NodeCount is fixed; LinkCount and AvgDegree are
+	// measured at the end of the run (mobility churns them).
 	NodeCount, LinkCount int
 	AvgDegree            float64
+	// Mobility churn (all zero on static runs): LinkUps/LinkDowns count
+	// links that came into/fell out of radio range, RouteFlaps counts
+	// route-table entries changed by the periodic recomputation, and
+	// RouteRecomputes counts the recompute rounds that ran — ticks whose
+	// link set did not change skip the BFS pass entirely.
+	LinkUps, LinkDowns int
+	RouteFlaps         int
+	RouteRecomputes    int
 	// Nodes holds per-node counters (role is "server"/"client"/"relay" by
 	// the node's part in the traffic, else "idle").
 	Nodes []NodeReport
@@ -265,6 +302,39 @@ func RunMeshTCP(cfg MeshTCPConfig) MeshResult {
 		stacks[i] = tcp.NewStack(m.Sched, node, tcfg)
 	}
 
+	// Mobility: a periodic tick on the shared scheduler advances node
+	// positions, reconciles link state through the medium's incremental
+	// SetConnected/SetSNR paths, and recomputes shortest-path routes with
+	// flap accounting. Static runs schedule nothing, so their event
+	// sequence — and golden hash — is untouched.
+	var linkUps, linkDowns, routeFlaps, recomputes int
+	if cfg.Mobility != "" {
+		model, err := topology.NewMobility(cfg.Mobility, m, cfg.Speed, cfg.Pause, cfg.Seed)
+		if err != nil {
+			panic(err.Error())
+		}
+		iv := cfg.MoveInterval
+		if iv <= 0 {
+			iv = time.Second
+		}
+		var tick func()
+		tick = func() {
+			delta := m.UpdateLinks(model.Step(m.Sched.Now()))
+			linkUps += delta.Up
+			linkDowns += delta.Down
+			// Hop-count routes only depend on link existence, and a
+			// recompute over an unchanged graph provably changes nothing
+			// (same BFS, same tie-breaks) — skip the O(N·(N+E)) pass on
+			// ticks that moved nodes without crossing a range boundary.
+			if delta.Up+delta.Down > 0 {
+				routeFlaps += routing.RecomputeShortestPaths(m.Nodes, m.Adjacency())
+				recomputes++
+			}
+			m.Sched.After(iv, "mesh:mobility", tick)
+		}
+		m.Sched.After(iv, "mesh:mobility", tick)
+	}
+
 	remaining := len(flows)
 	for i, f := range flows {
 		i, f := i, f
@@ -298,11 +368,15 @@ func RunMeshTCP(cfg MeshTCPConfig) MeshResult {
 	m.Sched.RunUntil(cfg.Deadline)
 
 	res := MeshResult{
-		Completed: true,
-		EventsRun: m.Sched.EventsRun(),
-		NodeCount: len(m.Nodes),
-		LinkCount: m.LinkCount,
-		AvgDegree: m.AvgDegree(),
+		Completed:       true,
+		EventsRun:       m.Sched.EventsRun(),
+		NodeCount:       len(m.Nodes),
+		LinkCount:       m.LinkCount,
+		AvgDegree:       m.AvgDegree(),
+		LinkUps:         linkUps,
+		LinkDowns:       linkDowns,
+		RouteFlaps:      routeFlaps,
+		RouteRecomputes: recomputes,
 	}
 	res.MinMbps = math.Inf(1)
 	for _, f := range flows {

@@ -113,3 +113,68 @@ func TestRunMeshTCPDisk(t *testing.T) {
 		t.Fatalf("disk run incomplete: %+v", res.Flows)
 	}
 }
+
+func quickMobilityCfg() MeshTCPConfig {
+	cfg := quickMeshCfg()
+	cfg.Nodes = 16
+	cfg.Mobility = MobilityWaypoint
+	cfg.Speed = 3
+	cfg.Pause = time.Second
+	cfg.MoveInterval = 500 * time.Millisecond
+	return cfg
+}
+
+// A mobile run is a pure function of its config: same seed, same events,
+// same goodput bits, same churn counters.
+func TestRunMeshTCPMobilityDeterministic(t *testing.T) {
+	a := RunMeshTCP(quickMobilityCfg())
+	b := RunMeshTCP(quickMobilityCfg())
+	if a.EventsRun != b.EventsRun {
+		t.Fatalf("EventsRun diverged: %d vs %d", a.EventsRun, b.EventsRun)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical mobile configs produced different results")
+	}
+}
+
+// Mobility must actually churn the topology and the routing tables, and
+// the counters must report it; a static run must report all zeros.
+func TestRunMeshTCPMobilityCounters(t *testing.T) {
+	res := RunMeshTCP(quickMobilityCfg())
+	if res.RouteRecomputes == 0 {
+		t.Fatal("no route recomputes on a mobile run")
+	}
+	if res.LinkUps+res.LinkDowns == 0 {
+		t.Error("no link churn at speed 3 with 500 ms updates")
+	}
+	if res.RouteFlaps == 0 {
+		t.Error("no route flaps despite link churn")
+	}
+
+	static := RunMeshTCP(quickMeshCfg())
+	if static.LinkUps != 0 || static.LinkDowns != 0 || static.RouteFlaps != 0 || static.RouteRecomputes != 0 {
+		t.Errorf("static run reported churn: %+v %+v %+v %+v",
+			static.LinkUps, static.LinkDowns, static.RouteFlaps, static.RouteRecomputes)
+	}
+}
+
+// Drift is the other model; it must run end to end too.
+func TestRunMeshTCPMobilityDrift(t *testing.T) {
+	cfg := quickMobilityCfg()
+	cfg.Mobility = MobilityDrift
+	res := RunMeshTCP(cfg)
+	if res.RouteRecomputes == 0 {
+		t.Fatal("drift run scheduled no mobility ticks")
+	}
+}
+
+func TestRunMeshTCPMobilityUnknownModel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown mobility model did not panic")
+		}
+	}()
+	cfg := quickMeshCfg()
+	cfg.Mobility = "teleport"
+	RunMeshTCP(cfg)
+}

@@ -60,6 +60,12 @@ type Options struct {
 	// MeshTopos overrides the scaling experiment's topology generators
 	// (default grid and disk); cmd/aggbench's -mesh-topos flag sets it.
 	MeshTopos []string
+	// MobilitySpeeds overrides the mobility experiment's node speeds in
+	// spacing units per second (default 1, 4).
+	MobilitySpeeds []float64
+	// MobilityIntervals overrides the mobility experiment's
+	// position/link/route update intervals (default 500 ms, 2 s).
+	MobilityIntervals []time.Duration
 }
 
 func (o Options) udpDur() time.Duration {
@@ -560,5 +566,6 @@ func All() []Experiment {
 		{"ext-fairness", ExtensionFairness},
 		{"ext-delay", ExtensionDelay},
 		{"scaling", ScalingMesh},
+		{"mobility", Mobility},
 	}
 }

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"aggmac/internal/core"
+	"aggmac/internal/mac"
+)
+
+func TestMobilityShape(t *testing.T) {
+	// One speed and one interval keep the test quick; the column triple
+	// (goodput, route flaps, link churn) per interval is the structure
+	// under test.
+	o := Options{
+		Seed:              1,
+		MobilitySpeeds:    []float64{3},
+		MobilityIntervals: []time.Duration{500 * time.Millisecond},
+	}
+	tab := Mobility(o)
+	wantCols := []string{"Mbps@0.5s", "Flaps@0.5s", "Churn@0.5s"}
+	if len(tab.Columns) != len(wantCols) {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+	for i, c := range wantCols {
+		if tab.Columns[i] != c {
+			t.Fatalf("column %d = %q, want %q", i, tab.Columns[i], c)
+		}
+	}
+	if len(tab.Rows) != 3 { // {NA, UA, BA} × one speed
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	if tab.Rows[0].Label != "NA v=3" || tab.Rows[2].Label != "BA v=3" {
+		t.Errorf("row labels = %q .. %q", tab.Rows[0].Label, tab.Rows[2].Label)
+	}
+	for _, r := range tab.Rows {
+		if len(r.Values) != 3 {
+			t.Fatalf("row %q has %d values", r.Label, len(r.Values))
+		}
+		if r.Values[0] <= 0 {
+			t.Errorf("row %q: goodput %v", r.Label, r.Values[0])
+		}
+		if r.Values[1] <= 0 || r.Values[2] <= 0 {
+			t.Errorf("row %q: no churn reported (flaps=%v churn=%v) at speed 3",
+				r.Label, r.Values[1], r.Values[2])
+		}
+	}
+}
+
+func TestMobilityDefaults(t *testing.T) {
+	var o Options
+	if got := o.mobilitySpeeds(); len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Errorf("default speeds = %v", got)
+	}
+	if got := o.mobilityIntervals(); len(got) != 2 ||
+		got[0] != 500*time.Millisecond || got[1] != 2*time.Second {
+		t.Errorf("default intervals = %v", got)
+	}
+	cell := MobilityCell(mac.BA, 2, time.Second, 7)
+	if cell.Mobility != core.MobilityWaypoint || cell.Speed != 2 ||
+		cell.MoveInterval != time.Second || cell.Seed != 7 {
+		t.Errorf("MobilityCell = %+v", cell)
+	}
+}

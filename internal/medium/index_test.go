@@ -88,6 +88,107 @@ func TestNeighborIndexMatchesMatrixOracle(t *testing.T) {
 	}
 }
 
+// mobilityTrace generates the churn pattern a mobility tick produces: n
+// nodes random-walk inside a square area and, after every move, the trace
+// reconciles the medium's connectivity with the distance rule exactly the
+// way topology.UpdateLinks does — cuts for pairs that left range, raises
+// plus an SNR refresh for pairs in range — using only the incremental
+// SetConnected/SetSNR paths.
+type mobilityTrace struct {
+	rng      *rand.Rand
+	x, y     []float64
+	side     float64
+	rangeLim float64
+}
+
+func newMobilityTrace(n int, side, rangeLim float64, seed int64) *mobilityTrace {
+	tr := &mobilityTrace{
+		rng:      rand.New(rand.NewSource(seed)),
+		x:        make([]float64, n),
+		y:        make([]float64, n),
+		side:     side,
+		rangeLim: rangeLim,
+	}
+	for i := 0; i < n; i++ {
+		tr.x[i] = tr.rng.Float64() * side
+		tr.y[i] = tr.rng.Float64() * side
+	}
+	return tr
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// step random-walks every node and pushes the resulting link deltas into
+// the medium.
+func (tr *mobilityTrace) step(m *Medium, stride float64) {
+	for i := range tr.x {
+		tr.x[i] = clamp(tr.x[i]+(tr.rng.Float64()*2-1)*stride, 0, tr.side)
+		tr.y[i] = clamp(tr.y[i]+(tr.rng.Float64()*2-1)*stride, 0, tr.side)
+	}
+	n := len(tr.x)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			dx, dy := tr.x[a]-tr.x[b], tr.y[a]-tr.y[b]
+			inRange := dx*dx+dy*dy <= tr.rangeLim*tr.rangeLim
+			connected := m.Connected(NodeID(a), NodeID(b))
+			switch {
+			case inRange && !connected:
+				m.SetConnected(NodeID(a), NodeID(b), true)
+				m.SetSNR(NodeID(a), NodeID(b), 5+tr.rng.Float64()*20)
+			case inRange && connected:
+				m.SetSNR(NodeID(a), NodeID(b), 5+tr.rng.Float64()*20)
+			case !inRange && connected:
+				m.SetConnected(NodeID(a), NodeID(b), false)
+			}
+		}
+	}
+}
+
+// inRangeOracle recomputes the expected adjacency from scratch.
+func (tr *mobilityTrace) inRangeOracle(a, b int) bool {
+	dx, dy := tr.x[a]-tr.x[b], tr.y[a]-tr.y[b]
+	return a != b && dx*dx+dy*dy <= tr.rangeLim*tr.rangeLim
+}
+
+// TestNeighborIndexUnderMobilityTrace drives sustained mobility-style
+// churn — every step moves all nodes and reconciles every crossed range
+// boundary — and checks after each step that (a) the incremental neighbor
+// index still equals a fresh scan of the dense matrix and (b) the matrix
+// itself matches the positional ground truth the trace maintains.
+func TestNeighborIndexUnderMobilityTrace(t *testing.T) {
+	const n = 23
+	s := sim.NewScheduler(3)
+	m := NewUnconnected(s, phy.DefaultParams(), n)
+	tr := newMobilityTrace(n, 6.0, 1.5, 77)
+	tr.step(m, 0) // initial reconcile at the starting positions
+	for step := 1; step <= 250; step++ {
+		// Mix small drifts with occasional large jumps so both sparse and
+		// massive per-step deltas are exercised.
+		stride := 0.3
+		if step%17 == 0 {
+			stride = 3.0
+		}
+		tr.step(m, stride)
+		checkIndexAgainstMatrix(t, m, step)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if want := tr.inRangeOracle(a, b); m.Connected(NodeID(a), NodeID(b)) != want {
+					t.Fatalf("step %d: Connected(%d,%d) = %v, positional oracle %v",
+						step, a, b, !want, want)
+				}
+			}
+		}
+	}
+}
+
 // runEquivalenceScenario drives an identical randomized partial-mesh
 // traffic pattern through the medium and returns everything observable:
 // per-radio reception/carrier counts and the channel stats. dense selects

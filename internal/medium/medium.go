@@ -321,6 +321,10 @@ func (m *Medium) SetSNR(a, b NodeID, snrdB float64) {
 // Connected reports whether b can hear a.
 func (m *Medium) Connected(a, b NodeID) bool { return a != b && m.links[a][b].connected }
 
+// SNR returns the configured SNR of the a→b link in dB (meaningful only
+// while the link is connected; mobility tests use it to audit refreshes).
+func (m *Medium) SNR(a, b NodeID) float64 { return m.links[a][b].snrdB }
+
 // Neighbors returns the nodes that can hear src, in ascending id order.
 // The slice is the medium's live index: callers must not modify it and must
 // not retain it across connectivity changes.

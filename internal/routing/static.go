@@ -4,6 +4,9 @@
 // through hundreds of nodes, the generators compute hop-count shortest
 // paths over the connectivity graph up front and install them into the
 // network layer's tables, so transports start with full reachability.
+// Mobile scenarios re-run the computation periodically with
+// RecomputeShortestPaths, which also accounts for how many table entries
+// each round changed (the route-flap metric).
 package routing
 
 import "aggmac/internal/network"
@@ -22,25 +25,7 @@ func InstallShortestPaths(nodes []*network.Node, neighbors func(i int) []int) in
 	queue := make([]int, n) // BFS ring
 	installed := 0
 	for d := 0; d < n; d++ {
-		for i := range next {
-			next[i] = -1
-		}
-		next[d] = d
-		queue[0] = d
-		head, tail := 0, 1
-		for head < tail {
-			u := queue[head]
-			head++
-			for _, v := range neighbors(u) {
-				if next[v] != -1 {
-					continue
-				}
-				// v reaches d through u: u is one hop closer.
-				next[v] = u
-				queue[tail] = v
-				tail++
-			}
-		}
+		bfsNextHops(d, neighbors, next, queue)
 		for v := 0; v < n; v++ {
 			if v == d || next[v] == -1 {
 				continue
@@ -50,6 +35,68 @@ func InstallShortestPaths(nodes []*network.Node, neighbors func(i int) []int) in
 		}
 	}
 	return installed
+}
+
+// bfsNextHops fills next[v] with v's next hop toward destination d (-1
+// where unreachable, d at d itself) by one BFS from d over the adjacency.
+// next and queue are caller-provided scratch of length n.
+func bfsNextHops(d int, neighbors func(i int) []int, next, queue []int) {
+	for i := range next {
+		next[i] = -1
+	}
+	next[d] = d
+	queue[0] = d
+	head, tail := 0, 1
+	for head < tail {
+		u := queue[head]
+		head++
+		for _, v := range neighbors(u) {
+			if next[v] != -1 {
+				continue
+			}
+			// v reaches d through u: u is one hop closer.
+			next[v] = u
+			queue[tail] = v
+			tail++
+		}
+	}
+}
+
+// RecomputeShortestPaths recomputes hop-count shortest-path next hops over
+// the (possibly changed) adjacency and syncs every node's routing table
+// with the result: newly reachable destinations gain routes, unreachable
+// ones lose theirs, and changed next hops are rewritten in place. It
+// returns the number of route-table entries that changed (added + removed
+// + rerouted) — the route-flap count the mobility experiments report.
+// Ties break toward the lowest-id next hop exactly like
+// InstallShortestPaths, so recomputing over an unchanged graph changes
+// nothing and returns 0.
+func RecomputeShortestPaths(nodes []*network.Node, neighbors func(i int) []int) int {
+	n := len(nodes)
+	next := make([]int, n)
+	queue := make([]int, n)
+	changed := 0
+	for d := 0; d < n; d++ {
+		bfsNextHops(d, neighbors, next, queue)
+		for v := 0; v < n; v++ {
+			if v == d {
+				continue
+			}
+			old, had := nodes[v].Route(network.NodeID(d))
+			if next[v] == -1 {
+				if had {
+					nodes[v].DelRoute(network.NodeID(d))
+					changed++
+				}
+				continue
+			}
+			if !had || old != network.NodeID(next[v]) {
+				nodes[v].AddRoute(network.NodeID(d), network.NodeID(next[v]))
+				changed++
+			}
+		}
+	}
+	return changed
 }
 
 // Distances returns the hop distance from src to every node over the given

@@ -56,6 +56,65 @@ func TestInstallShortestPathsDisconnected(t *testing.T) {
 	}
 }
 
+func TestRecomputeShortestPaths(t *testing.T) {
+	nodes := make([]*network.Node, 4)
+	for i := range nodes {
+		nodes[i] = network.NewNode(network.NodeID(i))
+	}
+	InstallShortestPaths(nodes, diamondAdj())
+
+	// Same graph: nothing may change.
+	if changed := RecomputeShortestPaths(nodes, diamondAdj()); changed != 0 {
+		t.Fatalf("recompute over unchanged graph changed %d routes", changed)
+	}
+
+	// Cut the 0-3 shortcut: 0<->3 reroutes through the chain (2 entries),
+	// and the 1->3 / 2->0 ties that previously broke toward the shortcut's
+	// endpoints re-resolve.
+	chain := [][]int{0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2}}
+	chainAdj := func(i int) []int { return chain[i] }
+	changed := RecomputeShortestPaths(nodes, chainAdj)
+	if changed == 0 {
+		t.Fatal("cutting a link changed no routes")
+	}
+	if next, ok := nodes[0].Route(3); !ok || next != 1 {
+		t.Errorf("route 0->3 via %v (ok=%v), want via 1 after the cut", next, ok)
+	}
+	if next, ok := nodes[3].Route(0); !ok || next != 2 {
+		t.Errorf("route 3->0 via %v (ok=%v), want via 2 after the cut", next, ok)
+	}
+	// Equilibrium: a second recompute over the same graph is silent.
+	if again := RecomputeShortestPaths(nodes, chainAdj); again != 0 {
+		t.Fatalf("second recompute changed %d more routes", again)
+	}
+}
+
+func TestRecomputeRemovesUnreachableRoutes(t *testing.T) {
+	nodes := make([]*network.Node, 3)
+	for i := range nodes {
+		nodes[i] = network.NewNode(network.NodeID(i))
+	}
+	line := [][]int{0: {1}, 1: {0, 2}, 2: {1}}
+	InstallShortestPaths(nodes, func(i int) []int { return line[i] })
+	if _, ok := nodes[0].Route(2); !ok {
+		t.Fatal("setup: no initial route 0->2")
+	}
+	// Isolate node 2: every route to and from it must be withdrawn.
+	split := [][]int{0: {1}, 1: {0}, 2: {}}
+	changed := RecomputeShortestPaths(nodes, func(i int) []int { return split[i] })
+	if changed != 4 { // 0->2, 1->2, 2->0, 2->1
+		t.Errorf("changed = %d, want 4 withdrawn entries", changed)
+	}
+	for _, v := range []int{0, 1} {
+		if _, ok := nodes[v].Route(2); ok {
+			t.Errorf("node %d kept a route to the unreachable node", v)
+		}
+	}
+	if _, ok := nodes[0].Route(1); !ok {
+		t.Error("surviving component lost its own route")
+	}
+}
+
 func TestDistances(t *testing.T) {
 	got := Distances(4, diamondAdj(), 1)
 	if want := []int{1, 0, 1, 2}; !reflect.DeepEqual(got, want) {

@@ -149,7 +149,7 @@ func (p *Pool) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 
 	if err := ctx.Err(); err != nil {
 		for i := range results {
-			if results[i].TCP == nil && results[i].UDP == nil && results[i].Err == nil {
+			if results[i].TCP == nil && results[i].UDP == nil && results[i].Mesh == nil && results[i].Err == nil {
 				results[i] = Result{Index: i, Key: specs[i].Key, Err: err}
 			}
 		}

@@ -280,3 +280,38 @@ func TestProgressCounts(t *testing.T) {
 		}
 	}
 }
+
+// TestMobileMeshSpecDeterministicAcrossWorkers: a mobility-enabled mesh
+// spec — time-varying links, periodic route recomputation — is still a
+// pure function of its config, bit-identical at any worker count.
+func TestMobileMeshSpecDeterministicAcrossWorkers(t *testing.T) {
+	specs := func() []Spec {
+		var out []Spec
+		for _, speed := range []float64{1, 4} {
+			out = append(out, Spec{
+				Key: "mob", Mesh: &core.MeshTCPConfig{
+					Scheme: mac.BA, Rate: phy.Rate2600k,
+					Topology: core.MeshGrid, Nodes: 16, Flows: 2,
+					Mobility: core.MobilityWaypoint, Speed: speed,
+					MoveInterval: 500 * time.Millisecond,
+					FileBytes:    10_000, Seed: 1,
+					Deadline: 600 * time.Second,
+				},
+			})
+		}
+		return out
+	}
+	base := run(t, 1, specs())
+	got := run(t, 2, specs())
+	for i := range base {
+		if base[i].Err != nil || got[i].Err != nil {
+			t.Fatalf("run %d failed: %v / %v", i, base[i].Err, got[i].Err)
+		}
+		if !reflect.DeepEqual(base[i].Mesh, got[i].Mesh) {
+			t.Errorf("run %d: mobile mesh result differs between 1 and 2 workers", i)
+		}
+		if base[i].Mesh.RouteRecomputes == 0 {
+			t.Errorf("run %d: mobility never ticked", i)
+		}
+	}
+}

@@ -69,29 +69,44 @@ func (c *MeshConfig) radio() RadioModel {
 // Mesh is a generated multi-collision-domain network.
 type Mesh struct {
 	*Network
-	// Pos holds each node's position.
+	// Pos holds each node's position. Mobility updates it in place through
+	// UpdateLinks.
 	Pos []Point
-	// LinkCount is the number of bidirectional links wired.
+	// Extent is the upper corner of the deployment area: nodes live in
+	// [0,Extent.X]×[0,Extent.Y]. Mobility models roam inside it.
+	Extent Point
+	// LinkCount is the number of bidirectional links currently wired.
 	LinkCount int
 	// Bridged counts links added beyond radio range to join disconnected
 	// components (random layouts only).
 	Bridged int
+
+	rm RadioModel // resolved radio model, shared by build and UpdateLinks
 }
 
 // newMesh builds nodes at the given positions and wires every pair within
 // radio range with a distance-derived SNR. Routes are not yet installed.
+// Extent defaults to the bounding box of the positions (NewRandomDisk
+// widens it to the full placement square).
 func newMesh(pos []Point, cfg MeshConfig) *Mesh {
 	n := len(pos)
 	net := buildOn(medium.NewUnconnected, n, cfg.Config)
-	rm := cfg.radio()
-	m := &Mesh{Network: net, Pos: pos}
+	m := &Mesh{Network: net, Pos: pos, rm: cfg.radio()}
+	for _, p := range pos {
+		if p.X > m.Extent.X {
+			m.Extent.X = p.X
+		}
+		if p.Y > m.Extent.Y {
+			m.Extent.Y = p.Y
+		}
+	}
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
 			d := pos[a].dist(pos[b])
-			if d > rm.Range {
+			if d > m.rm.Range {
 				continue
 			}
-			m.connect(a, b, rm.SNRAt(d))
+			m.connect(a, b, m.rm.SNRAt(d))
 		}
 	}
 	return m
@@ -103,9 +118,11 @@ func (m *Mesh) connect(a, b int, snrdB float64) {
 	m.LinkCount++
 }
 
-// neighbors adapts the medium's neighbor index (ascending ids) for the
-// routing package's BFS.
-func (m *Mesh) neighbors() func(i int) []int {
+// Adjacency snapshots the medium's neighbor index (ascending ids) for the
+// routing package's BFS. The snapshot is stable: connectivity changes
+// after the call — a mobility tick, say — do not leak into an in-progress
+// route computation.
+func (m *Mesh) Adjacency() func(i int) []int {
 	adj := make([][]int, len(m.Nodes))
 	for i := range adj {
 		nbrs := m.Medium.Neighbors(medium.NodeID(i))
@@ -119,7 +136,7 @@ func (m *Mesh) neighbors() func(i int) []int {
 
 // installRoutes computes and installs shortest-path next hops everywhere.
 func (m *Mesh) installRoutes() {
-	routing.InstallShortestPaths(m.Nodes, m.neighbors())
+	routing.InstallShortestPaths(m.Nodes, m.Adjacency())
 }
 
 // bridgeComponents joins disconnected components (possible in random
@@ -127,7 +144,7 @@ func (m *Mesh) installRoutes() {
 // components, repeatedly, until the graph is connected. Bridge links carry
 // the SNR of an at-range link — the deployment answer would be "add a
 // relay or a better antenna there".
-func (m *Mesh) bridgeComponents(rm RadioModel) {
+func (m *Mesh) bridgeComponents() {
 	n := len(m.Nodes)
 	for {
 		comp := m.components()
@@ -152,7 +169,7 @@ func (m *Mesh) bridgeComponents(rm RadioModel) {
 				}
 			}
 		}
-		m.connect(bestA, bestB, rm.SNRAt(rm.Range))
+		m.connect(bestA, bestB, m.rm.SNRAt(m.rm.Range))
 		m.Bridged++
 	}
 }
@@ -252,7 +269,8 @@ func NewRandomDisk(n int, cfg MeshConfig) *Mesh {
 		pos[i] = Point{X: rng.Float64() * side, Y: rng.Float64() * side}
 	}
 	m := newMesh(pos, cfg)
-	m.bridgeComponents(cfg.radio())
+	m.Extent = Point{X: side, Y: side}
+	m.bridgeComponents()
 	m.installRoutes()
 	return m
 }
@@ -286,3 +304,85 @@ func NewParallelChains(chains, hops int, rowSpacing float64, cfg MeshConfig) *Me
 // ChainNode returns the node id of position idx on the given chain of a
 // NewParallelChains mesh with the given hop count.
 func ChainNode(chain, idx, hops int) int { return chain*(hops+1) + idx }
+
+// LinkDelta summarizes one connectivity refresh.
+type LinkDelta struct {
+	// Up / Down count links that came into / fell out of radio range.
+	Up, Down int
+	// InRange counts node pairs within range after the update; each had
+	// its SNR refreshed from the new distance.
+	InRange int
+}
+
+// UpdateLinks moves the mesh's nodes to pos and reconciles the medium's
+// connectivity and per-link SNR with the new distances, pushing only
+// deltas through the medium's incremental SetConnected/SetSNR paths.
+//
+// Cuts walk the existing neighbor lists (O(E)); candidate raises come from
+// binning nodes into radio-range-sized cells, so only same-cell and
+// adjacent-cell pairs are examined — O(N · local density), never an O(N²)
+// all-pairs scan and never the medium's O(N) dense path. The setters are
+// idempotent state writes with no RNG draws, so the outcome is independent
+// of pair visit order and map-ordered bin iteration is safe.
+//
+// Links wired beyond radio range at build time (component bridges) follow
+// the radio model from the first refresh on: mobility either brings the
+// endpoints into real range or the bridge is cut. Pos and LinkCount are
+// updated in place.
+func (m *Mesh) UpdateLinks(pos []Point) LinkDelta {
+	copy(m.Pos, pos)
+	n := len(m.Pos)
+	var delta LinkDelta
+
+	var cuts [][2]int // collected first: Neighbors returns the live index
+	for a := 0; a < n; a++ {
+		for _, b := range m.Medium.Neighbors(medium.NodeID(a)) {
+			if int(b) > a && m.Pos[a].dist(m.Pos[int(b)]) > m.rm.Range {
+				cuts = append(cuts, [2]int{a, int(b)})
+			}
+		}
+	}
+	for _, c := range cuts {
+		m.Medium.SetConnected(medium.NodeID(c[0]), medium.NodeID(c[1]), false)
+	}
+	delta.Down = len(cuts)
+
+	cell := m.rm.Range
+	bins := make(map[[2]int][]int, n)
+	for i := 0; i < n; i++ {
+		k := [2]int{int(math.Floor(m.Pos[i].X / cell)), int(math.Floor(m.Pos[i].Y / cell))}
+		bins[k] = append(bins[k], i)
+	}
+	link := func(a, b int) {
+		d := m.Pos[a].dist(m.Pos[b])
+		if d > m.rm.Range {
+			return
+		}
+		if !m.Medium.Connected(medium.NodeID(a), medium.NodeID(b)) {
+			m.Medium.SetConnected(medium.NodeID(a), medium.NodeID(b), true)
+			delta.Up++
+		}
+		m.Medium.SetSNR(medium.NodeID(a), medium.NodeID(b), m.rm.SNRAt(d))
+		delta.InRange++
+	}
+	// Half-plane offsets visit each unordered cell pair exactly once;
+	// within a cell, i<j does the same for node pairs.
+	offsets := [...][2]int{{1, 0}, {-1, 1}, {0, 1}, {1, 1}}
+	for c, members := range bins {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				link(members[i], members[j])
+			}
+		}
+		for _, off := range offsets {
+			other := bins[[2]int{c[0] + off[0], c[1] + off[1]}]
+			for _, a := range members {
+				for _, b := range other {
+					link(a, b)
+				}
+			}
+		}
+	}
+	m.LinkCount += delta.Up - delta.Down
+	return delta
+}

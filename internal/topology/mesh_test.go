@@ -62,7 +62,7 @@ func TestRandomDiskConnectedAndDeterministic(t *testing.T) {
 	}
 	// Bridging must leave a single component (graph-level check), and the
 	// installed routes must agree with the graph distances (route walk).
-	dist := routing.Distances(len(a.Nodes), a.neighbors(), 0)
+	dist := routing.Distances(len(a.Nodes), a.Adjacency(), 0)
 	for j := 1; j < len(a.Nodes); j++ {
 		if dist[j] < 0 {
 			t.Fatalf("node %d unreachable after bridging", j)
