@@ -19,6 +19,7 @@ import (
 	"aggmac/internal/mac"
 	"aggmac/internal/phy"
 	"aggmac/internal/tcp"
+	"aggmac/internal/traffic"
 )
 
 func runWithMACTweak(seed int64, tweak func(*mac.Options)) core.TCPResult {
@@ -147,6 +148,34 @@ func BenchmarkMeshGrid100BADense(b *testing.B) {
 // recomputation — on top of the usual many-flow traffic.
 func BenchmarkMeshGridWaypointBA(b *testing.B) {
 	benchMesh(b, experiments.MobilityCell(mac.BA, 4, 500*time.Millisecond, 0))
+}
+
+// benchScenario runs one offered-load cell per iteration: flow arrivals,
+// per-flow traffic sources, FCT accounting and the usual mesh traffic
+// underneath. The configs come from experiments.LoadCell, so these benches
+// measure exactly what `aggbench -exp load` runs.
+func benchScenario(b *testing.B, cfg core.ScenarioConfig) {
+	b.Helper()
+	b.ReportAllocs()
+	var res core.ScenarioResult
+	start := time.Now()
+	var simulated time.Duration
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res = core.RunScenario(cfg)
+		simulated += res.Elapsed
+	}
+	b.ReportMetric(res.AggregateMbps, "Mbps")
+	if wall := time.Since(start).Seconds(); wall > 0 {
+		b.ReportMetric(simulated.Seconds()/wall, "simsec/sec")
+	}
+}
+
+func BenchmarkScenarioOpenBA(b *testing.B) {
+	benchScenario(b, experiments.LoadCell(traffic.ModeOpen, mac.BA, 1.0, 0, 0, false))
+}
+func BenchmarkScenarioClosedBA(b *testing.B) {
+	benchScenario(b, experiments.LoadCell(traffic.ModeClosed, mac.BA, 0, 6, 0, false))
 }
 
 // ---- ablation benches (DESIGN.md §5) ----

@@ -18,6 +18,7 @@ import (
 	"aggmac/internal/experiments"
 	"aggmac/internal/mac"
 	"aggmac/internal/phy"
+	"aggmac/internal/traffic"
 )
 
 // BenchRecord is one benchmark's committed measurement.
@@ -52,6 +53,14 @@ func meshCase(name string, cfg core.MeshTCPConfig) benchCase {
 	}}
 }
 
+func scenarioCase(name string, cfg core.ScenarioConfig) benchCase {
+	return benchCase{Name: name, Run: func(seed int64) (float64, time.Duration) {
+		cfg.Seed = seed
+		res := core.RunScenario(cfg)
+		return res.AggregateMbps, res.Elapsed
+	}}
+}
+
 // headlineBenches mirrors the BenchmarkTCP2Hop*/BenchmarkTCPStarBA and
 // BenchmarkMesh* benches in bench_test.go: same configs, same
 // per-iteration seed derivation, so a `go test -bench` run is directly
@@ -74,8 +83,17 @@ func headlineBenches() []benchCase {
 	dense := experiments.ScalingCell(core.MeshGrid, mac.BA, 100, 0)
 	dense.DenseScan = true
 	cases = append(cases, meshCase("BenchmarkMeshGrid100BADense", dense))
-	return append(cases, meshCase("BenchmarkMeshGridWaypointBA",
+	cases = append(cases, meshCase("BenchmarkMeshGridWaypointBA",
 		experiments.MobilityCell(mac.BA, 4, 500*time.Millisecond, 0)))
+	// The workload engine's own cells: the offered-load experiment's
+	// highest open-loop rate and its closed-loop population, both under
+	// BA — they price flow arrivals, per-flow sources and FCT accounting
+	// on top of the usual mesh traffic.
+	return append(cases,
+		scenarioCase("BenchmarkScenarioOpenBA",
+			experiments.LoadCell(traffic.ModeOpen, mac.BA, 1.0, 0, 0, false)),
+		scenarioCase("BenchmarkScenarioClosedBA",
+			experiments.LoadCell(traffic.ModeClosed, mac.BA, 0, 6, 0, false)))
 }
 
 func measure(bc benchCase) BenchRecord {

@@ -24,6 +24,11 @@
 //	aggbench -exp scaling -mesh-sizes 49,225       # custom network sizes
 //	aggbench -exp scaling -mesh-topos grid,chains  # custom generators
 //
+// The offered-load experiment (workload engine: open-loop Poisson flow
+// arrivals and closed-loop think-time users, FCT p50/p95/p99 columns):
+//
+//	aggbench -exp load
+//
 // Performance tooling (see README "Performance"):
 //
 //	aggbench -cpuprofile cpu.pprof -exp fig7   # profile the hot path

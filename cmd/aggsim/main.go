@@ -26,6 +26,21 @@
 //
 //	aggsim -topo grid -mobility waypoint -speed 2 -seed 7
 //	aggsim -topo disk -nodes 49 -mobility drift -speed 4 -move-interval 500ms
+//
+// Workload mode replaces the "N flows forever" setup with flows that
+// arrive and complete over time, reporting flow-completion-time
+// percentiles: -scenario runs a declarative JSON file (one run per scheme
+// it lists; see examples/scenarios), while -arrival-rate (open-loop
+// Poisson arrivals) or -users (closed-loop think-time users) builds an
+// ad-hoc workload from a single -traffic model on the -topo mesh:
+//
+//	aggsim -scenario examples/scenarios/web-open.json
+//	aggsim -topo grid -nodes 25 -arrival-rate 0.5 -traffic pareto -scheme na,ua,ba
+//	aggsim -topo disk -users 8 -think 2s -traffic cbr -dur 20s
+//
+// -json emits any single, mesh or scenario run as one machine-readable
+// document; -trace (optionally narrowed by -trace-nodes) streams the
+// channel timeline of single, mesh and scenario runs to stderr.
 package main
 
 import (
@@ -43,26 +58,14 @@ import (
 	"aggmac/internal/mac"
 	"aggmac/internal/phy"
 	"aggmac/internal/runner"
+	// Aliased: the -traffic flag variable shadows the package name here.
+	wl "aggmac/internal/traffic"
 )
-
-func schemeByName(name string) (mac.Scheme, error) {
-	switch strings.ToLower(name) {
-	case "na":
-		return mac.NA, nil
-	case "ua":
-		return mac.UA, nil
-	case "ba":
-		return mac.BA, nil
-	case "dba":
-		return mac.DBA, nil
-	}
-	return mac.Scheme{}, fmt.Errorf("unknown scheme %q (na|ua|ba|dba)", name)
-}
 
 func parseSchemes(list string) ([]mac.Scheme, error) {
 	var out []mac.Scheme
 	for _, s := range strings.Split(list, ",") {
-		sch, err := schemeByName(strings.TrimSpace(s))
+		sch, err := mac.SchemeByName(strings.TrimSpace(s))
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +104,7 @@ func parseHops(list string) ([]int, error) {
 
 func main() {
 	var (
-		traffic  = flag.String("traffic", "tcp", "tcp or udp")
+		traffic  = flag.String("traffic", "tcp", "tcp or udp; with -arrival-rate/-users: a traffic model (bulk|cbr|poisson|onoff|pareto)")
 		scheme   = flag.String("scheme", "ba", "scheme or comma list: na | ua | ba | dba")
 		rateList = flag.String("rate", "1.3", "PHY data rate in Mbps (0.65|1.3|1.95|2.6|...) or comma list")
 		bcRate   = flag.Float64("bcast-rate", 0, "fixed broadcast-portion rate in Mbps (0 = same as unicast)")
@@ -121,7 +124,13 @@ func main() {
 		csvOut   = flag.Bool("csv", false, "sweep: emit the result table as CSV")
 		progress = flag.Bool("progress", false, "sweep: report each completed run on stderr")
 		verbose  = flag.Bool("v", false, "print per-node detail (single run)")
-		doTrace  = flag.Bool("trace", false, "stream the channel timeline to stderr (single run)")
+		doTrace  = flag.Bool("trace", false, "stream the channel timeline to stderr (single, mesh and scenario runs)")
+		traceNds = flag.String("trace-nodes", "", "with -trace: comma list of node IDs; only events touching them are traced")
+
+		scenario = flag.String("scenario", "", "run a declarative scenario file (JSON; see examples/scenarios)")
+		arrival  = flag.Float64("arrival-rate", 0, "workload: open-loop Poisson flow arrivals per second (requires -topo)")
+		users    = flag.Int("users", 0, "workload: closed-loop think-time user population (requires -topo)")
+		think    = flag.Duration("think", 2*time.Second, "workload: closed-loop mean think time")
 
 		topo      = flag.String("topo", "", "mesh topology: grid | disk | chains (empty = paper chain/star)")
 		nodes     = flag.Int("nodes", 25, "mesh: node budget (grid rounds down to k²)")
@@ -151,11 +160,90 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *traffic != "tcp" && *traffic != "udp" {
-		fatal(fmt.Errorf("unknown traffic %q (tcp|udp)", *traffic))
-	}
 	if *jsonOut && *csvOut {
 		fatal(fmt.Errorf("-json and -csv are mutually exclusive"))
+	}
+	traceNodes, err := parseTraceNodes(*traceNds)
+	if err != nil {
+		fatal(err)
+	}
+	var traceTo io.Writer
+	if *doTrace {
+		traceTo = os.Stderr
+	}
+
+	// Scenario-file mode: everything (topology, traffic, schemes) comes
+	// from the file; -seed (when given explicitly), -parallel, -json,
+	// -progress, -v and the trace flags still apply.
+	if *scenario != "" {
+		sc, err := wl.Load(*scenario)
+		if err != nil {
+			fatal(err)
+		}
+		var schemes []mac.Scheme
+		for _, name := range sc.Schemes {
+			s, err := mac.SchemeByName(name)
+			if err != nil {
+				fatal(err)
+			}
+			schemes = append(schemes, s)
+		}
+		var seedOverride int64
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedOverride = *seed
+			}
+		})
+		runScenarios(scenarioArgs{
+			sc: sc, schemes: schemes, seed: seedOverride,
+			parallel: *parallel, jsonOut: *jsonOut, progress: *progress,
+			verbose: *verbose, traceTo: traceTo, traceNodes: traceNodes,
+		})
+		return
+	}
+
+	// Ad-hoc workload mode: -arrival-rate / -users turn the -topo mesh
+	// into an open- or closed-loop scenario with a single-model mix.
+	if *arrival > 0 || *users > 0 {
+		if *topo == "" {
+			fatal(fmt.Errorf("-arrival-rate/-users need a mesh topology (-topo grid|disk|chains)"))
+		}
+		if *csvOut {
+			fatal(fmt.Errorf("-csv is not supported in workload mode"))
+		}
+		if len(rates) > 1 || len(hops) > 1 || *reps > 1 {
+			fatal(fmt.Errorf("workload mode cannot be combined with a -rate/-hops/-reps sweep"))
+		}
+		// Mesh-only knobs the workload engine does not thread through must
+		// fail loudly, not silently measure something else.
+		if *dense || *flows != 0 || *crossFl != 0 {
+			fatal(fmt.Errorf("-dense-scan/-flows/-cross-flows do not apply in workload mode (the engine samples its own flows)"))
+		}
+		model := *traffic
+		if model == "tcp" {
+			model = wl.Pareto // web-like objects by default
+		}
+		ma := meshArgs{
+			topo: *topo, rate: rates[0],
+			nodes: *nodes, chains: *chains, chainHops: *chainHops,
+			minHops: *minHops, mobility: *mobility, speed: *speed,
+			pause: *pause, moveIv: *moveIv,
+			file: *file, agg: *agg, seed: *seed,
+		}
+		sc, err := adhocScenario(ma, model, *arrival, *users, *think, *dur, schemes)
+		if err != nil {
+			fatal(err)
+		}
+		runScenarios(scenarioArgs{
+			sc: sc, schemes: schemes,
+			parallel: *parallel, jsonOut: *jsonOut, progress: *progress,
+			verbose: *verbose, traceTo: traceTo, traceNodes: traceNodes,
+		})
+		return
+	}
+
+	if *traffic != "tcp" && *traffic != "udp" {
+		fatal(fmt.Errorf("unknown traffic %q (tcp|udp; traffic models need -arrival-rate or -users)", *traffic))
 	}
 
 	switch *mobility {
@@ -179,8 +267,8 @@ func main() {
 		if len(schemes) > 1 || len(rates) > 1 || len(hops) > 1 || *reps > 1 {
 			fatal(fmt.Errorf("-topo cannot be combined with a parameter sweep"))
 		}
-		if *jsonOut || *csvOut {
-			fatal(fmt.Errorf("-json/-csv are not supported in -topo mode"))
+		if *csvOut {
+			fatal(fmt.Errorf("-csv is not supported in -topo mode"))
 		}
 		runMesh(meshArgs{
 			topo: *topo, scheme: schemes[0], rate: rates[0],
@@ -188,6 +276,7 @@ func main() {
 			crossFlows: *crossFl, minHops: *minHops, dense: *dense,
 			mobility: *mobility, speed: *speed, pause: *pause, moveIv: *moveIv,
 			file: *file, agg: *agg, seed: *seed, verbose: *verbose,
+			jsonOut: *jsonOut, traceTo: traceTo, traceNodes: traceNodes,
 		})
 		return
 	}
@@ -214,14 +303,15 @@ func main() {
 		return
 	}
 
-	if *jsonOut || *csvOut {
-		fatal(fmt.Errorf("-json/-csv require a parameter sweep (comma-list -scheme/-rate/-hops or -reps > 1)"))
+	if *csvOut {
+		fatal(fmt.Errorf("-csv requires a parameter sweep (comma-list -scheme/-rate/-hops or -reps > 1)"))
 	}
 	runSingle(singleArgs{
 		traffic: *traffic, scheme: schemes[0], rate: rates[0], hops: hops[0],
 		star: *star, file: *file, agg: *agg, noFwd: *noFwd,
 		blockAck: *blockAck, autoAgg: *autoAgg, flood: *flood, dur: *dur,
-		seed: *seed, bcRate: *bcRate, verbose: *verbose, doTrace: *doTrace,
+		seed: *seed, bcRate: *bcRate, verbose: *verbose,
+		jsonOut: *jsonOut, traceTo: traceTo, traceNodes: traceNodes,
 	})
 }
 
@@ -305,14 +395,13 @@ type singleArgs struct {
 	flood, dur        time.Duration
 	seed              int64
 	bcRate            float64
-	verbose, doTrace  bool
+	verbose           bool
+	jsonOut           bool
+	traceTo           io.Writer
+	traceNodes        []int
 }
 
 func runSingle(a singleArgs) {
-	var traceTo io.Writer
-	if a.doTrace {
-		traceTo = os.Stderr
-	}
 	sch := a.scheme
 	sch.DisableForwardAggregation = a.noFwd
 
@@ -322,7 +411,7 @@ func runSingle(a singleArgs) {
 			Scheme: sch, Rate: a.rate, Hops: a.hops, Star: a.star,
 			FileBytes: a.file, MaxAggBytes: a.agg, Seed: a.seed,
 			BlockAck: a.blockAck, AutoAggSize: a.autoAgg,
-			TraceTo: traceTo,
+			TraceTo: a.traceTo, TraceNodes: a.traceNodes,
 		}
 		if a.bcRate > 0 {
 			br, err := phy.RateFromMbps(a.bcRate)
@@ -332,6 +421,10 @@ func runSingle(a singleArgs) {
 			cfg.FixedBroadcastRate = &br
 		}
 		res := core.RunTCP(cfg)
+		if a.jsonOut {
+			writeJSON(jsonResult{Kind: "tcp", TCP: &res})
+			return
+		}
 		fmt.Printf("scheme=%s rate=%v topology=%s\n", sch.Name(), a.rate, topoName(a.hops, a.star))
 		for i, m := range res.SessionMbps {
 			fmt.Printf("session %d: %.3f Mbps (done=%v)\n", i, m, res.Sessions[i].Done)
@@ -352,8 +445,12 @@ func runSingle(a singleArgs) {
 		res := core.RunUDP(core.UDPConfig{
 			Scheme: sch, Rate: a.rate, Hops: a.hops, MaxAggBytes: a.agg,
 			FloodInterval: a.flood, Duration: a.dur, Seed: a.seed,
-			TraceTo: traceTo,
+			TraceTo: a.traceTo, TraceNodes: a.traceNodes,
 		})
+		if a.jsonOut {
+			writeJSON(jsonResult{Kind: "udp", UDP: &res})
+			return
+		}
 		fmt.Printf("scheme=%s rate=%v hops=%d flood=%v\n", sch.Name(), a.rate, a.hops, a.flood)
 		fmt.Printf("goodput: %.3f Mbps (%d packets delivered)\n", res.ThroughputMbps, res.SinkPackets)
 		if a.flood > 0 {
@@ -380,6 +477,9 @@ type meshArgs struct {
 	file, agg         int
 	seed              int64
 	verbose           bool
+	jsonOut           bool
+	traceTo           io.Writer
+	traceNodes        []int
 }
 
 func runMesh(a meshArgs) {
@@ -390,7 +490,12 @@ func runMesh(a meshArgs) {
 		MinHops: a.minHops, DenseScan: a.dense,
 		Mobility: a.mobility, Speed: a.speed, Pause: a.pause, MoveInterval: a.moveIv,
 		FileBytes: a.file, MaxAggBytes: a.agg, Seed: a.seed,
+		TraceTo: a.traceTo, TraceNodes: a.traceNodes,
 	})
+	if a.jsonOut {
+		writeJSON(jsonResult{Kind: "mesh", Mesh: &res})
+		return
+	}
 	fmt.Printf("scheme=%s rate=%v topology=%s nodes=%d links=%d avg-degree=%.1f\n",
 		a.scheme.Name(), a.rate, a.topo, res.NodeCount, res.LinkCount, res.AvgDegree)
 	if a.mobility != "" {

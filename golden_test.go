@@ -28,6 +28,7 @@ import (
 	"aggmac/internal/core"
 	"aggmac/internal/mac"
 	"aggmac/internal/phy"
+	"aggmac/internal/traffic"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json from the current implementation")
@@ -140,6 +141,55 @@ func mobilityGolden(kind string, scheme mac.Scheme, speed float64) (string, uint
 	return fmt.Sprintf("%x", sha256.Sum256([]byte(w.String()))), res.EventsRun
 }
 
+// scenarioGolden pins the workload engine: a seeded scenario run — flow
+// arrivals, per-flow traffic sources, FCT accounting — hashed over every
+// per-flow outcome (endpoints, model, arrival time, delivered bytes, FCT
+// bits), the aggregate and per-model summaries, churn counters and
+// per-node counters.
+func scenarioGolden(mode string, scheme mac.Scheme) (string, uint64) {
+	sc := traffic.Scenario{
+		Version:   traffic.SchemaVersion,
+		Name:      "golden-" + mode,
+		Seed:      1,
+		DurationS: 20,
+		DeadlineS: 60,
+		Schemes:   []string{"na", "ua", "ba", "dba"},
+		RateMbps:  2.6,
+		Topology:  traffic.Topology{Kind: "grid", Nodes: 16},
+		Traffic: traffic.Traffic{
+			Mode:        mode,
+			ArrivalRate: 0.5,
+			Users:       3,
+			ThinkS:      1,
+			Mix: []traffic.WeightedModel{
+				{Model: traffic.Model{Kind: traffic.Pareto, Bytes: 8_000, MaxBytes: 80_000}, Weight: 2},
+				{Model: traffic.Model{Kind: traffic.CBR, RateMbps: 0.05, PacketBytes: 600, DurationS: 3}, Weight: 1},
+			},
+		},
+	}
+	res := core.RunScenario(core.ScenarioConfig{Scenario: sc, Scheme: scheme})
+	var w strings.Builder
+	fmt.Fprintf(&w, "scenario mode=%s scheme=%s nodes=%d links=%d deg=%s elapsed=%d events=%d\n",
+		mode, res.Scheme, res.NodeCount, res.LinkCount, hexFloat(res.AvgDegree),
+		int64(res.Elapsed), res.EventsRun)
+	fmt.Fprintf(&w, "churn started=%d done=%d abandoned=%d skipped=%d peak=%d\n",
+		res.FlowsStarted, res.FlowsCompleted, res.FlowsAbandoned, res.FlowsSkipped, res.PeakActive)
+	fmt.Fprintf(&w, "agg=%s delivered=%d fct mean=%d p50=%d p95=%d p99=%d max=%d n=%d\n",
+		hexFloat(res.AggregateMbps), res.DeliveredBytes,
+		int64(res.FCT.Mean), int64(res.FCT.P50), int64(res.FCT.P95),
+		int64(res.FCT.P99), int64(res.FCT.Max), res.FCT.Count)
+	for _, pm := range res.PerModel {
+		fmt.Fprintf(&w, "model %s flows=%d done=%d bytes=%d mbps=%s p99=%d\n",
+			pm.Kind, pm.Flows, pm.FlowsDone, pm.Bytes, hexFloat(pm.GoodputMbps), int64(pm.FCT.P99))
+	}
+	for _, f := range res.Flows {
+		fmt.Fprintf(&w, "flow %d->%d model=%d hops=%d start=%d bytes=%d done=%v fct=%d\n",
+			int(f.Server), int(f.Client), f.Model, f.Hops, int64(f.Start), f.Bytes, f.Done, int64(f.FCT))
+	}
+	hashNodes(&w, res.Nodes)
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(w.String()))), res.EventsRun
+}
+
 func goldenSchemes() []mac.Scheme {
 	return []mac.Scheme{mac.NA, mac.UA, mac.BA, mac.DBA}
 }
@@ -169,6 +219,16 @@ func runGoldens() map[string]goldenEntry {
 	} {
 		h, ev := mobilityGolden(mc.kind, mc.scheme, mc.speed)
 		got[fmt.Sprintf("mobility-%s/%s", mc.kind, mc.scheme.Name())] = goldenEntry{Hash: h, EventsRun: ev}
+	}
+	for _, sg := range []struct {
+		mode   string
+		scheme mac.Scheme
+	}{
+		{traffic.ModeOpen, mac.BA},
+		{traffic.ModeClosed, mac.UA},
+	} {
+		h, ev := scenarioGolden(sg.mode, sg.scheme)
+		got[fmt.Sprintf("scenario-%s/%s", sg.mode, sg.scheme.Name())] = goldenEntry{Hash: h, EventsRun: ev}
 	}
 	return got
 }

@@ -16,7 +16,6 @@ import (
 	"aggmac/internal/sim"
 	"aggmac/internal/tcp"
 	"aggmac/internal/topology"
-	"aggmac/internal/trace"
 	"aggmac/internal/udp"
 )
 
@@ -62,8 +61,10 @@ type TCPConfig struct {
 	// the ablation benches use (RTS off, head-only gather, ...).
 	Tweak func(*mac.Options)
 	// TraceTo, when set, streams the channel timeline (every control
-	// frame, aggregate, collision) to the writer.
-	TraceTo io.Writer
+	// frame, aggregate, collision) to the writer; TraceNodes restricts it
+	// to events touching the listed nodes.
+	TraceTo    io.Writer
+	TraceNodes []int
 	// TCP overrides the transport config; zero value means defaults.
 	TCP tcp.Config
 	// Phy overrides the channel constants; nil means calibrated defaults.
@@ -183,8 +184,8 @@ func RunTCP(cfg TCPConfig) TCPResult {
 		roleOf = topology.LinearRole
 	}
 
-	if cfg.TraceTo != nil {
-		net.Medium.SetObserver(trace.New(cfg.TraceTo).Observe)
+	if obs := traceObserver(cfg.TraceTo, cfg.TraceNodes); obs != nil {
+		net.Medium.SetObserver(obs)
 	}
 
 	stacks := make([]*tcp.Stack, len(net.Nodes))
@@ -291,8 +292,10 @@ type UDPConfig struct {
 	Warmup   time.Duration
 	Phy      *phy.Params
 	Seed     int64
-	// TraceTo streams the channel timeline to the writer.
-	TraceTo io.Writer
+	// TraceTo streams the channel timeline to the writer; TraceNodes
+	// restricts it to events touching the listed nodes.
+	TraceTo    io.Writer
+	TraceNodes []int
 }
 
 // UDPResult is what a UDP experiment measures.
@@ -334,8 +337,8 @@ func RunUDP(cfg UDPConfig) UDPResult {
 		return opts
 	}
 	net := topology.NewLinear(cfg.Hops, topology.Config{Seed: cfg.Seed, Phy: params, OptsFor: optsFor})
-	if cfg.TraceTo != nil {
-		net.Medium.SetObserver(trace.New(cfg.TraceTo).Observe)
+	if obs := traceObserver(cfg.TraceTo, cfg.TraceNodes); obs != nil {
+		net.Medium.SetObserver(obs)
 	}
 
 	eps := make([]*udp.Endpoint, len(net.Nodes))

@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"time"
@@ -91,6 +92,10 @@ type MeshTCPConfig struct {
 	MoveInterval time.Duration
 	// Tweak adjusts every node's final MAC options.
 	Tweak func(*mac.Options)
+	// TraceTo streams the channel timeline to the writer; TraceNodes
+	// restricts it to events touching the listed nodes.
+	TraceTo    io.Writer
+	TraceNodes []int
 	// TCP overrides the transport config; zero value means defaults.
 	TCP tcp.Config
 	// Phy overrides the channel constants; nil means calibrated defaults.
@@ -281,6 +286,51 @@ func (c *MeshTCPConfig) planFlows(m *topology.Mesh) []*meshFlow {
 	return flows
 }
 
+// mobilityChurn accumulates the topology-motion counters of a run.
+type mobilityChurn struct {
+	LinkUps, LinkDowns int
+	RouteFlaps         int
+	Recomputes         int
+}
+
+// startMobility wires the mobility tick shared by RunMeshTCP and
+// RunScenario: a periodic event on the mesh's scheduler advances node
+// positions, reconciles link state through the medium's incremental
+// SetConnected/SetSNR paths, and recomputes shortest-path routes with flap
+// accounting. An empty model schedules nothing, so a static run's event
+// sequence — and golden hash — is untouched.
+func startMobility(m *topology.Mesh, model string, speed float64, pause, interval time.Duration, seed int64) *mobilityChurn {
+	churn := &mobilityChurn{}
+	if model == "" {
+		return churn
+	}
+	mob, err := topology.NewMobility(model, m, speed, pause, seed)
+	if err != nil {
+		panic(err.Error())
+	}
+	iv := interval
+	if iv <= 0 {
+		iv = time.Second
+	}
+	var tick func()
+	tick = func() {
+		delta := m.UpdateLinks(mob.Step(m.Sched.Now()))
+		churn.LinkUps += delta.Up
+		churn.LinkDowns += delta.Down
+		// Hop-count routes only depend on link existence, and a
+		// recompute over an unchanged graph provably changes nothing
+		// (same BFS, same tie-breaks) — skip the O(N·(N+E)) pass on
+		// ticks that moved nodes without crossing a range boundary.
+		if delta.Up+delta.Down > 0 {
+			churn.RouteFlaps += routing.RecomputeShortestPaths(m.Nodes, m.Adjacency())
+			churn.Recomputes++
+		}
+		m.Sched.After(iv, "mesh:mobility", tick)
+	}
+	m.Sched.After(iv, "mesh:mobility", tick)
+	return churn
+}
+
 // RunMeshTCP executes the experiment: build the mesh, start every flow
 // (staggered a few hundred µs apart so the initial SYNs do not collide on
 // identical backoff draws), run to completion or deadline.
@@ -295,6 +345,9 @@ func RunMeshTCP(cfg MeshTCPConfig) MeshResult {
 	if cfg.DenseScan {
 		m.Medium.SetDenseScan(true)
 	}
+	if obs := traceObserver(cfg.TraceTo, cfg.TraceNodes); obs != nil {
+		m.Medium.SetObserver(obs)
+	}
 	flows := cfg.planFlows(m)
 
 	stacks := make([]*tcp.Stack, len(m.Nodes))
@@ -302,38 +355,7 @@ func RunMeshTCP(cfg MeshTCPConfig) MeshResult {
 		stacks[i] = tcp.NewStack(m.Sched, node, tcfg)
 	}
 
-	// Mobility: a periodic tick on the shared scheduler advances node
-	// positions, reconciles link state through the medium's incremental
-	// SetConnected/SetSNR paths, and recomputes shortest-path routes with
-	// flap accounting. Static runs schedule nothing, so their event
-	// sequence — and golden hash — is untouched.
-	var linkUps, linkDowns, routeFlaps, recomputes int
-	if cfg.Mobility != "" {
-		model, err := topology.NewMobility(cfg.Mobility, m, cfg.Speed, cfg.Pause, cfg.Seed)
-		if err != nil {
-			panic(err.Error())
-		}
-		iv := cfg.MoveInterval
-		if iv <= 0 {
-			iv = time.Second
-		}
-		var tick func()
-		tick = func() {
-			delta := m.UpdateLinks(model.Step(m.Sched.Now()))
-			linkUps += delta.Up
-			linkDowns += delta.Down
-			// Hop-count routes only depend on link existence, and a
-			// recompute over an unchanged graph provably changes nothing
-			// (same BFS, same tie-breaks) — skip the O(N·(N+E)) pass on
-			// ticks that moved nodes without crossing a range boundary.
-			if delta.Up+delta.Down > 0 {
-				routeFlaps += routing.RecomputeShortestPaths(m.Nodes, m.Adjacency())
-				recomputes++
-			}
-			m.Sched.After(iv, "mesh:mobility", tick)
-		}
-		m.Sched.After(iv, "mesh:mobility", tick)
-	}
+	churn := startMobility(m, cfg.Mobility, cfg.Speed, cfg.Pause, cfg.MoveInterval, cfg.Seed)
 
 	remaining := len(flows)
 	for i, f := range flows {
@@ -373,10 +395,10 @@ func RunMeshTCP(cfg MeshTCPConfig) MeshResult {
 		NodeCount:       len(m.Nodes),
 		LinkCount:       m.LinkCount,
 		AvgDegree:       m.AvgDegree(),
-		LinkUps:         linkUps,
-		LinkDowns:       linkDowns,
-		RouteFlaps:      routeFlaps,
-		RouteRecomputes: recomputes,
+		LinkUps:         churn.LinkUps,
+		LinkDowns:       churn.LinkDowns,
+		RouteFlaps:      churn.RouteFlaps,
+		RouteRecomputes: churn.Recomputes,
 	}
 	res.MinMbps = math.Inf(1)
 	for _, f := range flows {

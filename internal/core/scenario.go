@@ -1,0 +1,499 @@
+// The scenario engine: churning workloads on generated meshes. Where
+// RunMeshTCP starts N identical flows at t=0 and measures steady-state
+// goodput, RunScenario resolves a declarative traffic.Scenario — topology,
+// mobility, a weighted mix of traffic models, an arrival discipline — and
+// lets flows arrive, transfer and complete over simulated time. The
+// headline metric moves from saturated goodput to flow-completion time
+// (p50/p95/p99), the quantity that actually separates aggregation schemes
+// under churn: a scheme that batches aggressively can move more bytes yet
+// finish every short flow later.
+//
+// Determinism: the whole run is a pure function of (scenario, scheme,
+// seed). Arrival gaps, model picks, endpoint pairs, think times and every
+// per-flow chunk stream come from decoupled seeded streams derived via
+// traffic.DeriveSeed, so no draw ever depends on completion order.
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"aggmac/internal/mac"
+	"aggmac/internal/network"
+	"aggmac/internal/phy"
+	"aggmac/internal/sim"
+	"aggmac/internal/tcp"
+	"aggmac/internal/topology"
+	"aggmac/internal/traffic"
+)
+
+// ScenarioConfig binds a declarative scenario to one MAC scheme (a
+// scenario file lists several; each becomes one run).
+type ScenarioConfig struct {
+	Scenario traffic.Scenario
+	Scheme   mac.Scheme
+	// Seed, when non-zero, overrides the scenario's own seed (sweep
+	// replications derive per-run seeds here).
+	Seed int64
+	// TraceTo streams the channel timeline to the writer; TraceNodes
+	// restricts it to events touching the listed nodes.
+	TraceTo    io.Writer
+	TraceNodes []int
+	// TCP overrides the transport config; zero value means defaults.
+	TCP tcp.Config
+	// Phy overrides the channel constants; nil means calibrated defaults.
+	Phy *phy.Params
+}
+
+// ScenarioFlowReport is one flow's outcome.
+type ScenarioFlowReport struct {
+	Server, Client network.NodeID
+	// Model is the mix index of the flow's traffic model.
+	Model int
+	// Hops is the route length at arrival time.
+	Hops int
+	// Start is the flow's arrival time.
+	Start time.Duration
+	// Bytes is the payload delivered to the receiver.
+	Bytes int64
+	Done  bool
+	// FCT is the flow completion time (last payload byte minus arrival).
+	FCT time.Duration
+}
+
+// ScenarioModelReport aggregates one mix entry's flows.
+type ScenarioModelReport struct {
+	// Kind names the traffic model.
+	Kind string
+	// Flows arrived, FlowsDone completed.
+	Flows, FlowsDone int
+	// Bytes delivered across the model's flows.
+	Bytes int64
+	// GoodputMbps is the model's delivered bytes over the arrival window.
+	GoodputMbps float64
+	// FCT summarizes the model's completed flows.
+	FCT traffic.FCTStats
+}
+
+// ScenarioResult is what a scenario run measures.
+type ScenarioResult struct {
+	// Name/Scheme identify the run.
+	Name   string
+	Scheme string
+	// Flow churn: Started flows arrived, Completed finished, Abandoned
+	// were still in flight at the deadline, Skipped arrivals found no
+	// eligible endpoint pair (partitioned mobile meshes).
+	FlowsStarted, FlowsCompleted int
+	FlowsAbandoned, FlowsSkipped int
+	// PeakActive is the high-water mark of concurrently active flows.
+	PeakActive int
+	// FCT summarizes completion times across every completed flow.
+	FCT traffic.FCTStats
+	// DeliveredBytes is total payload delivered to receivers, including
+	// partial delivery of flows later abandoned; AggregateMbps normalizes
+	// it over the scenario's arrival window.
+	DeliveredBytes int64
+	AggregateMbps  float64
+	// PerModel breaks the workload down by mix entry, in mix order.
+	PerModel []ScenarioModelReport
+	// Flows holds per-flow detail, in arrival order.
+	Flows []ScenarioFlowReport
+	// Elapsed is the simulated time the run actually used (the deadline,
+	// or earlier when every flow drained).
+	Elapsed time.Duration
+	// EventsRun pins the executed-event count for determinism tests.
+	EventsRun uint64
+	// Topology shape and mobility churn, as in MeshResult.
+	NodeCount, LinkCount int
+	AvgDegree            float64
+	LinkUps, LinkDowns   int
+	RouteFlaps           int
+	RouteRecomputes      int
+	// Nodes holds per-node counters (roles by traffic part, as in mesh).
+	Nodes []NodeReport
+}
+
+// scenarioFlow is one live or finished flow.
+type scenarioFlow struct {
+	model          int
+	server, client network.NodeID
+	hops           int
+	start          sim.Time
+	lastData       sim.Time
+	got            int64
+	done           bool
+	onComplete     func() // closed-loop: resume the owning user
+}
+
+// scenarioEngine holds a run's mutable state.
+type scenarioEngine struct {
+	sc     traffic.Scenario
+	seed   int64
+	m      *topology.Mesh
+	stacks []*tcp.Stack
+	mix    traffic.Mix
+
+	flows        []*scenarioFlow
+	active       int
+	peakActive   int
+	skipped      int
+	arrivalsOpen bool // open loop: more arrivals may come
+	liveUsers    int  // closed loop: users still cycling
+
+	fct        traffic.FCT
+	fctByModel []traffic.FCT
+	halted     bool     // the engine drained before the deadline
+	haltAt     sim.Time // when it drained (may legitimately be 0)
+
+	scratch []byte // reused send buffer; tcp.Conn.Send copies
+}
+
+// RunScenario executes one (scenario, scheme) run. It panics on an invalid
+// scenario — CLIs validate at load time, so a panic here is a programming
+// error, consistent with the other Run entry points.
+func RunScenario(cfg ScenarioConfig) ScenarioResult {
+	// Clone first: Validate normalizes in place, and one Scenario value is
+	// routinely fanned across pool workers (one run per scheme), so the
+	// shared Mix array and Mobility pointer must never be written here.
+	sc := cfg.Scenario.Clone()
+	if err := sc.Validate(); err != nil {
+		panic(err.Error())
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = sc.Seed
+	}
+	rate, err := phy.RateFromMbps(sc.RateMbps)
+	if err != nil {
+		panic(fmt.Sprintf("core: scenario %q: %v", sc.Name, err))
+	}
+	mix, err := traffic.NewMix(sc.Traffic.Mix)
+	if err != nil {
+		panic(err.Error())
+	}
+	tcfg := cfg.TCP
+	if tcfg.MSS == 0 {
+		tcfg = tcp.DefaultConfig()
+	}
+
+	// The mesh build is the one RunMeshTCP uses, driven by the scenario's
+	// topology/radio block.
+	mcfg := MeshTCPConfig{
+		Scheme: cfg.Scheme, Rate: rate,
+		Topology: sc.Topology.Kind, Nodes: sc.Topology.Nodes,
+		Chains: sc.Topology.Chains, ChainHops: sc.Topology.ChainHops,
+		RowSpacing:  sc.Topology.RowSpacing,
+		MaxAggBytes: sc.MaxAggBytes,
+		Phy:         cfg.Phy,
+		Seed:        seed,
+	}
+	if r := sc.Topology.Radio; r != nil {
+		mcfg.Radio = topology.RadioModel{Range: r.Range, RefSNRdB: r.RefSNRdB, Exponent: r.Exponent}
+	}
+	mcfg.fill()
+	m := mcfg.buildMesh()
+	if obs := traceObserver(cfg.TraceTo, cfg.TraceNodes); obs != nil {
+		m.Medium.SetObserver(obs)
+	}
+
+	var churn *mobilityChurn
+	if mob := sc.Mobility; mob != nil {
+		churn = startMobility(m, mob.Model, mob.Speed,
+			time.Duration(mob.PauseS*float64(time.Second)),
+			time.Duration(mob.MoveIntervalS*float64(time.Second)), seed)
+	} else {
+		churn = startMobility(m, "", 0, 0, 0, seed)
+	}
+
+	e := &scenarioEngine{
+		sc: sc, seed: seed, m: m, mix: mix,
+		stacks:     make([]*tcp.Stack, len(m.Nodes)),
+		fctByModel: make([]traffic.FCT, mix.Len()),
+	}
+	for i, node := range m.Nodes {
+		e.stacks[i] = tcp.NewStack(m.Sched, node, tcfg)
+	}
+
+	switch sc.Traffic.Mode {
+	case traffic.ModeOpen:
+		e.startOpenLoop()
+	case traffic.ModeClosed:
+		e.startClosedLoop()
+	}
+
+	// An open-loop run whose first arrival already falls past the window
+	// halts synchronously above; RunUntil resets the scheduler's halt
+	// flag on entry, so it must not run at all in that case.
+	if !e.halted {
+		m.Sched.RunUntil(sc.Deadline())
+	}
+
+	return e.assemble(cfg, churn)
+}
+
+// maybeHalt stops the scheduler once no flow can arrive or progress.
+// RunUntil advances the clock to the deadline even on an early halt, so
+// the halt time is captured here for the Elapsed metric.
+func (e *scenarioEngine) maybeHalt() {
+	if e.active == 0 && !e.arrivalsOpen && e.liveUsers == 0 {
+		e.halted = true
+		e.haltAt = e.m.Sched.Now()
+		e.m.Sched.Halt()
+	}
+}
+
+// startOpenLoop schedules Poisson flow arrivals over the arrival window.
+func (e *scenarioEngine) startOpenLoop() {
+	arr := traffic.NewOpenLoop(e.sc.Traffic.ArrivalRate, traffic.DeriveSeed(e.seed, "scn/arrivals"))
+	pick := rand.New(rand.NewSource(traffic.DeriveSeed(e.seed, "scn/pick")))
+	e.arrivalsOpen = true
+	var schedule func()
+	schedule = func() {
+		gap := arr.Next()
+		due := time.Duration(e.m.Sched.Now()) + gap
+		if due > e.sc.Duration() || len(e.flows) >= e.flowCap() {
+			e.arrivalsOpen = false
+			e.maybeHalt()
+			return
+		}
+		e.m.Sched.After(gap, "scn:arrival", func() {
+			mi := e.mix.Pick(pick)
+			srv, cli, ok := e.sampleEndpoints(pick)
+			if ok {
+				e.launch(mi, srv, cli, nil)
+			} else {
+				e.skipped++
+			}
+			schedule()
+		})
+	}
+	schedule()
+}
+
+// startClosedLoop launches the think-time user population. Each user owns
+// decoupled random streams (model picks, endpoints, think times), so one
+// user's pace never perturbs another's draws.
+func (e *scenarioEngine) startClosedLoop() {
+	e.liveUsers = e.sc.Traffic.Users
+	think := time.Duration(e.sc.Traffic.ThinkS * float64(time.Second))
+	for u := 0; u < e.sc.Traffic.Users; u++ {
+		u := u
+		rng := rand.New(rand.NewSource(traffic.DeriveSeed(e.seed, fmt.Sprintf("scn/user/%d", u))))
+		th := traffic.NewThink(think, traffic.DeriveSeed(e.seed, fmt.Sprintf("scn/think/%d", u)))
+		var next func()
+		next = func() {
+			if time.Duration(e.m.Sched.Now()) >= e.sc.Duration() || len(e.flows) >= e.flowCap() {
+				e.liveUsers--
+				e.maybeHalt()
+				return
+			}
+			mi := e.mix.Pick(rng)
+			srv, cli, ok := e.sampleEndpoints(rng)
+			if !ok {
+				// No eligible pair right now (partitioned mobile mesh):
+				// think and retry rather than spinning.
+				e.skipped++
+				e.m.Sched.After(th.Next(), "scn:think", next)
+				return
+			}
+			e.launch(mi, srv, cli, func() {
+				e.m.Sched.After(th.Next(), "scn:think", next)
+			})
+		}
+		// Stagger user starts so initial SYNs do not collide on identical
+		// backoff draws (the same trick the mesh runner uses).
+		e.m.Sched.After(time.Duration(u)*150*time.Microsecond, "scn:user", next)
+	}
+}
+
+// flowCap is the validated per-run flow-start bound; the schema caps it at
+// traffic.MaxFlowsLimit, which keeps every listener port (1 + flow index)
+// below the stacks' ephemeral range.
+func (e *scenarioEngine) flowCap() int { return e.sc.Traffic.MaxFlows }
+
+// sampleEndpoints draws a server/client pair at least MinHops apart on the
+// current topology. ok=false when no eligible pair turns up.
+func (e *scenarioEngine) sampleEndpoints(rng *rand.Rand) (srv, cli int, ok bool) {
+	n := len(e.m.Nodes)
+	for tries := 0; tries < 200; tries++ {
+		srv, cli = rng.Intn(n), rng.Intn(n)
+		if srv == cli {
+			continue
+		}
+		if d := e.m.HopDistance(srv, cli); d < e.sc.Traffic.MinHops {
+			continue
+		}
+		return srv, cli, true
+	}
+	return 0, 0, false
+}
+
+// launch starts one flow: listener on the client, a paced source on the
+// server, completion bookkeeping in between.
+func (e *scenarioEngine) launch(modelIdx, srv, cli int, onComplete func()) {
+	id := len(e.flows)
+	f := &scenarioFlow{
+		model:  modelIdx,
+		server: network.NodeID(srv), client: network.NodeID(cli),
+		hops:       e.m.HopDistance(srv, cli),
+		start:      e.m.Sched.Now(),
+		onComplete: onComplete,
+	}
+	e.flows = append(e.flows, f)
+	e.active++
+	if e.active > e.peakActive {
+		e.peakActive = e.active
+	}
+
+	port := uint16(1 + id) // 1..9999: below the ephemeral range
+	lis := e.stacks[cli].Listen(port)
+	lis.Setup = func(conn *tcp.Conn) {
+		conn.OnData = func(b []byte) {
+			f.got += int64(len(b))
+			f.lastData = e.m.Sched.Now()
+		}
+		// TCP delivers in order, so the peer's FIN arrives after every
+		// payload byte: peer-close at the receiver means the flow is done.
+		conn.OnPeerClose = func() {
+			conn.Close()
+			e.complete(f)
+		}
+	}
+
+	src := e.mix.Model(modelIdx).New(traffic.DeriveSeed(e.seed, fmt.Sprintf("scn/flow/%d", id)))
+	conn := e.stacks[srv].Connect(network.NodeID(cli), port)
+	conn.OnEstablished = func() { e.pump(conn, src) }
+}
+
+// pump drives a source's chunk schedule onto the connection: pull the next
+// (wait, bytes), send after wait, repeat; close when the source drains.
+// Chunk times are anchored to pull time, and pulls happen at send events,
+// so the on-wire offsets are exactly the source's cumulative schedule.
+func (e *scenarioEngine) pump(conn *tcp.Conn, src traffic.Source) {
+	wait, n, ok := src.Next()
+	if !ok {
+		conn.Close()
+		return
+	}
+	send := func() {
+		if n > len(e.scratch) {
+			e.scratch = make([]byte, n)
+		}
+		_ = conn.Send(e.scratch[:n])
+		e.pump(conn, src)
+	}
+	if wait == 0 {
+		send()
+		return
+	}
+	e.m.Sched.After(wait, "scn:send", send)
+}
+
+// complete records one flow's completion.
+func (e *scenarioEngine) complete(f *scenarioFlow) {
+	if f.done {
+		return
+	}
+	f.done = true
+	e.active--
+	// A flow that delivered no payload (a paced source whose first chunk
+	// never fit the window) completes at close time; pinning lastData here
+	// keeps the per-flow report and the FCT stats telling the same story.
+	if f.lastData == 0 {
+		f.lastData = e.m.Sched.Now()
+	}
+	d := time.Duration(f.lastData - f.start)
+	e.fct.Record(d)
+	e.fctByModel[f.model].Record(d)
+	if f.onComplete != nil {
+		f.onComplete()
+	}
+	e.maybeHalt()
+}
+
+// assemble builds the result after the scheduler stops.
+func (e *scenarioEngine) assemble(cfg ScenarioConfig, churn *mobilityChurn) ScenarioResult {
+	sc := e.sc
+	res := ScenarioResult{
+		Name:            sc.Name,
+		Scheme:          cfg.Scheme.Name(),
+		FlowsStarted:    len(e.flows),
+		FlowsCompleted:  e.fct.Count(),
+		FlowsSkipped:    e.skipped,
+		PeakActive:      e.peakActive,
+		FCT:             e.fct.Stats(),
+		Elapsed:         time.Duration(e.m.Sched.Now()),
+		EventsRun:       e.m.Sched.EventsRun(),
+		NodeCount:       len(e.m.Nodes),
+		LinkCount:       e.m.LinkCount,
+		AvgDegree:       e.m.AvgDegree(),
+		LinkUps:         churn.LinkUps,
+		LinkDowns:       churn.LinkDowns,
+		RouteFlaps:      churn.RouteFlaps,
+		RouteRecomputes: churn.Recomputes,
+	}
+	if e.halted {
+		// RunUntil advances the clock to the deadline even when the engine
+		// halted early; report the drain time instead.
+		res.Elapsed = time.Duration(e.haltAt)
+	}
+	res.FlowsAbandoned = res.FlowsStarted - res.FlowsCompleted
+
+	perModel := make([]ScenarioModelReport, e.mix.Len())
+	for i := range perModel {
+		perModel[i].Kind = e.mix.Model(i).Kind
+		perModel[i].FCT = e.fctByModel[i].Stats()
+	}
+	for _, f := range e.flows {
+		rep := ScenarioFlowReport{
+			Server: f.server, Client: f.client,
+			Model: f.model, Hops: f.hops,
+			Start: time.Duration(f.start),
+			Bytes: f.got, Done: f.done,
+		}
+		if f.done {
+			rep.FCT = time.Duration(f.lastData - f.start)
+		}
+		res.Flows = append(res.Flows, rep)
+		pm := &perModel[f.model]
+		pm.Flows++
+		pm.Bytes += f.got
+		if f.done {
+			pm.FlowsDone++
+		}
+	}
+	for i := range perModel {
+		perModel[i].GoodputMbps = float64(perModel[i].Bytes) * 8 / sc.DurationS / 1e6
+		res.DeliveredBytes += perModel[i].Bytes
+	}
+	res.AggregateMbps = float64(res.DeliveredBytes) * 8 / sc.DurationS / 1e6
+	res.PerModel = perModel
+
+	role := make([]string, len(e.m.Nodes))
+	for i := range role {
+		role[i] = "idle"
+	}
+	for i, node := range e.m.Nodes {
+		if node.Stats().Forwarded > 0 {
+			role[i] = "relay"
+		}
+	}
+	for _, f := range e.flows {
+		role[f.client] = "client"
+	}
+	for _, f := range e.flows {
+		role[f.server] = "server"
+	}
+	for i, node := range e.m.Nodes {
+		res.Nodes = append(res.Nodes, NodeReport{
+			ID:            i,
+			Role:          role[i],
+			MAC:           node.MAC().Counters(),
+			Net:           node.Stats(),
+			PreambleBytes: node.MAC().PreambleBytesPerTx(),
+		})
+	}
+	return res
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aggmac/internal/mac"
+	"aggmac/internal/traffic"
+)
+
+// testScenario builds a small, fast scenario the engine tests share.
+func testScenario(mode string) traffic.Scenario {
+	sc := traffic.Scenario{
+		Version:   traffic.SchemaVersion,
+		Name:      "engine-test",
+		Seed:      1,
+		DurationS: 30,
+		DeadlineS: 120,
+		Schemes:   []string{"ba"},
+		RateMbps:  2.6,
+		Topology:  traffic.Topology{Kind: "grid", Nodes: 16},
+		Traffic: traffic.Traffic{
+			Mode:        mode,
+			ArrivalRate: 0.4,
+			Users:       3,
+			ThinkS:      2,
+			Mix: []traffic.WeightedModel{
+				{Model: traffic.Model{Kind: traffic.Pareto, Bytes: 8_000, MaxBytes: 60_000}, Weight: 3},
+				{Model: traffic.Model{Kind: traffic.Bulk, Bytes: 20_000}, Weight: 1},
+			},
+		},
+	}
+	return sc
+}
+
+func TestRunScenarioOpenLoop(t *testing.T) {
+	res := RunScenario(ScenarioConfig{Scenario: testScenario(traffic.ModeOpen), Scheme: mac.BA})
+	if res.FlowsStarted < 5 {
+		t.Fatalf("only %d flows arrived over 30 s at 0.4/s", res.FlowsStarted)
+	}
+	if res.FlowsCompleted == 0 {
+		t.Fatal("no flow completed")
+	}
+	if res.FlowsStarted != res.FlowsCompleted+res.FlowsAbandoned {
+		t.Errorf("churn accounting broken: %d != %d + %d",
+			res.FlowsStarted, res.FlowsCompleted, res.FlowsAbandoned)
+	}
+	if res.FCT.Count != res.FlowsCompleted {
+		t.Errorf("FCT count %d != completed %d", res.FCT.Count, res.FlowsCompleted)
+	}
+	if res.FCT.P50 <= 0 || res.FCT.P99 < res.FCT.P95 || res.FCT.P95 < res.FCT.P50 {
+		t.Errorf("FCT percentiles disordered: %+v", res.FCT)
+	}
+	if res.AggregateMbps <= 0 || res.DeliveredBytes <= 0 {
+		t.Errorf("no goodput recorded: %+v", res.AggregateMbps)
+	}
+	if len(res.PerModel) != 2 {
+		t.Fatalf("per-model reports: %d", len(res.PerModel))
+	}
+	var flows, bytes int64
+	for _, pm := range res.PerModel {
+		flows += int64(pm.Flows)
+		bytes += pm.Bytes
+	}
+	if int(flows) != res.FlowsStarted || bytes != res.DeliveredBytes {
+		t.Errorf("per-model totals (%d flows, %d B) disagree with run totals (%d, %d)",
+			flows, bytes, res.FlowsStarted, res.DeliveredBytes)
+	}
+	if res.PerModel[0].Kind != traffic.Pareto || res.PerModel[1].Kind != traffic.Bulk {
+		t.Errorf("per-model order does not follow the mix: %+v", res.PerModel)
+	}
+	if res.PeakActive < 1 {
+		t.Errorf("peak active %d", res.PeakActive)
+	}
+	if res.Scheme != "BA" || res.Name != "engine-test" {
+		t.Errorf("identity fields: %q %q", res.Scheme, res.Name)
+	}
+	// Every flow drained: the engine halts before the deadline.
+	if res.FlowsAbandoned == 0 && res.Elapsed >= 120*time.Second {
+		t.Errorf("engine did not halt early despite draining (elapsed %v)", res.Elapsed)
+	}
+	if len(res.Nodes) != 16 {
+		t.Errorf("node reports: %d", len(res.Nodes))
+	}
+}
+
+func TestRunScenarioClosedLoop(t *testing.T) {
+	res := RunScenario(ScenarioConfig{Scenario: testScenario(traffic.ModeClosed), Scheme: mac.UA})
+	if res.FlowsStarted < 3 {
+		t.Fatalf("closed loop started only %d flows", res.FlowsStarted)
+	}
+	if res.FlowsCompleted == 0 {
+		t.Fatal("no closed-loop flow completed")
+	}
+	// A 3-user closed loop can never have more flows in flight than users.
+	if res.PeakActive > 3 {
+		t.Errorf("peak active %d exceeds the user population", res.PeakActive)
+	}
+}
+
+func TestRunScenarioDeterministic(t *testing.T) {
+	for _, mode := range []string{traffic.ModeOpen, traffic.ModeClosed} {
+		a := RunScenario(ScenarioConfig{Scenario: testScenario(mode), Scheme: mac.BA})
+		b := RunScenario(ScenarioConfig{Scenario: testScenario(mode), Scheme: mac.BA})
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: identical configs produced different results", mode)
+		}
+		if a.EventsRun == 0 {
+			t.Errorf("%s: no events ran", mode)
+		}
+	}
+}
+
+func TestRunScenarioSeedOverride(t *testing.T) {
+	base := RunScenario(ScenarioConfig{Scenario: testScenario(traffic.ModeOpen), Scheme: mac.BA})
+	over := RunScenario(ScenarioConfig{Scenario: testScenario(traffic.ModeOpen), Scheme: mac.BA, Seed: 99})
+	if reflect.DeepEqual(base, over) {
+		t.Error("seed override did not change the run")
+	}
+}
+
+func TestRunScenarioMobility(t *testing.T) {
+	sc := testScenario(traffic.ModeOpen)
+	sc.Mobility = &traffic.Mobility{Model: "waypoint", Speed: 3, PauseS: 0.5, MoveIntervalS: 0.5}
+	res := RunScenario(ScenarioConfig{Scenario: sc, Scheme: mac.BA})
+	if res.LinkUps+res.LinkDowns == 0 {
+		t.Error("mobile scenario recorded no link churn")
+	}
+	if res.RouteRecomputes == 0 {
+		t.Error("mobile scenario recorded no route recomputes")
+	}
+}
+
+func TestRunScenarioPacedModels(t *testing.T) {
+	sc := testScenario(traffic.ModeOpen)
+	sc.Traffic.ArrivalRate = 0.2
+	sc.Traffic.Mix = []traffic.WeightedModel{
+		{Model: traffic.Model{Kind: traffic.CBR, RateMbps: 0.1, PacketBytes: 500, DurationS: 3}, Weight: 1},
+		{Model: traffic.Model{Kind: traffic.OnOff, RateMbps: 0.2, PacketBytes: 500, DurationS: 4, MeanOnS: 0.5, MeanOffS: 0.5}, Weight: 1},
+		{Model: traffic.Model{Kind: traffic.Poisson, RateMbps: 0.1, PacketBytes: 500, DurationS: 3}, Weight: 1},
+	}
+	res := RunScenario(ScenarioConfig{Scenario: sc, Scheme: mac.BA})
+	if res.FlowsCompleted == 0 {
+		t.Fatal("no paced flow completed")
+	}
+	// A paced flow's completion time is at least its pacing duration.
+	if res.FCT.P50 < 2*time.Second {
+		t.Errorf("paced FCT p50 %v shorter than the pacing window", res.FCT.P50)
+	}
+}
+
+// TestSchemeNamesMatchResolver enforces the lockstep between the scenario
+// schema's name list (traffic.SchemeNames) and the resolver the CLIs use
+// (mac.SchemeByName): every schema name must resolve, and every resolvable
+// scheme must be representable in a scenario file.
+func TestSchemeNamesMatchResolver(t *testing.T) {
+	names := traffic.SchemeNames()
+	for _, n := range names {
+		if _, err := mac.SchemeByName(n); err != nil {
+			t.Errorf("schema scheme %q does not resolve: %v", n, err)
+		}
+	}
+	seen := make(map[string]bool)
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, s := range []mac.Scheme{mac.NA, mac.UA, mac.BA, mac.DBA} {
+		if !seen[strings.ToLower(s.Name())] {
+			t.Errorf("scheme %s is resolvable but missing from traffic.SchemeNames", s.Name())
+		}
+	}
+}
+
+// TestRunScenarioSharedScenarioIsRaceFree fans one Scenario value across
+// concurrent RunScenario calls (the aggsim one-run-per-scheme pattern):
+// RunScenario clones before normalizing, so the shared Mix backing array
+// and Mobility pointer must never be written. Run under -race this fails
+// without the clone; it also asserts the caller's value stays unmodified.
+func TestRunScenarioSharedScenarioIsRaceFree(t *testing.T) {
+	sc := testScenario(traffic.ModeOpen)
+	sc.Mobility = &traffic.Mobility{Model: "waypoint"} // zero Speed: Normalize would write 1
+	var wg sync.WaitGroup
+	for _, scheme := range []mac.Scheme{mac.NA, mac.UA, mac.BA} {
+		scheme := scheme
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			RunScenario(ScenarioConfig{Scenario: sc, Scheme: scheme})
+		}()
+	}
+	wg.Wait()
+	if sc.Mobility.Speed != 0 || sc.Traffic.MaxFlows != 0 {
+		t.Errorf("RunScenario normalized the caller's scenario in place (speed=%g maxflows=%d)",
+			sc.Mobility.Speed, sc.Traffic.MaxFlows)
+	}
+}
+
+// TestRunScenarioZeroArrivals: an arrival rate so low the first Poisson
+// gap overshoots the window halts synchronously before the scheduler ever
+// runs; the run must terminate immediately instead of burning mobility
+// ticks to the deadline, and Elapsed must not report the deadline.
+func TestRunScenarioZeroArrivals(t *testing.T) {
+	sc := testScenario(traffic.ModeOpen)
+	sc.Traffic.ArrivalRate = 1e-9
+	sc.Mobility = &traffic.Mobility{Model: "waypoint", Speed: 2, MoveIntervalS: 0.5}
+	res := RunScenario(ScenarioConfig{Scenario: sc, Scheme: mac.BA})
+	if res.FlowsStarted != 0 {
+		t.Fatalf("expected no arrivals, got %d", res.FlowsStarted)
+	}
+	if res.Elapsed != 0 {
+		t.Errorf("empty run reports elapsed %v, want 0", res.Elapsed)
+	}
+	if res.EventsRun != 0 {
+		t.Errorf("empty run executed %d events", res.EventsRun)
+	}
+}
+
+func TestRunScenarioInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid scenario did not panic")
+		}
+	}()
+	sc := testScenario(traffic.ModeOpen)
+	sc.Traffic.Mode = "bogus"
+	RunScenario(ScenarioConfig{Scenario: sc, Scheme: mac.BA})
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"io"
+
+	"aggmac/internal/medium"
+	"aggmac/internal/trace"
+)
+
+// traceObserver builds the channel-timeline observer every Run entry point
+// shares: a trace.Tracer writing to w, optionally filtered to events that
+// touch one of the listed nodes (either endpoint matches; transmissions,
+// whose Dst is -1, match on the sender). A nil writer disables tracing.
+func traceObserver(w io.Writer, nodes []int) medium.Observer {
+	if w == nil {
+		return nil
+	}
+	tr := trace.New(w)
+	if len(nodes) > 0 {
+		set := make(map[medium.NodeID]bool, len(nodes))
+		for _, n := range nodes {
+			set[medium.NodeID(n)] = true
+		}
+		tr.Filter = func(ev medium.Event) bool { return set[ev.Src] || set[ev.Dst] }
+	}
+	return tr.Observe
+}

@@ -66,6 +66,12 @@ type Options struct {
 	// MobilityIntervals overrides the mobility experiment's
 	// position/link/route update intervals (default 500 ms, 2 s).
 	MobilityIntervals []time.Duration
+	// LoadRates overrides the offered-load experiment's open-loop flow
+	// arrival rates in flows/s (default 0.2, 1.0).
+	LoadRates []float64
+	// LoadUsers overrides the offered-load experiment's closed-loop user
+	// population (default 6).
+	LoadUsers int
 }
 
 func (o Options) udpDur() time.Duration {
@@ -131,6 +137,11 @@ func (p *plan) udp(key string, cfg core.UDPConfig, sink func(core.UDPResult)) {
 func (p *plan) mesh(key string, cfg core.MeshTCPConfig, sink func(core.MeshResult)) {
 	p.specs = append(p.specs, runner.Spec{Key: key, Mesh: &cfg})
 	p.sinks = append(p.sinks, func(r runner.Result) { sink(*r.Mesh) })
+}
+
+func (p *plan) scenario(key string, cfg core.ScenarioConfig, sink func(core.ScenarioResult)) {
+	p.specs = append(p.specs, runner.Spec{Key: key, Scenario: &cfg})
+	p.sinks = append(p.sinks, func(r runner.Result) { sink(*r.Scenario) })
 }
 
 // run executes the accumulated matrix and dispatches sinks in order. A run
@@ -567,5 +578,6 @@ func All() []Experiment {
 		{"ext-delay", ExtensionDelay},
 		{"scaling", ScalingMesh},
 		{"mobility", Mobility},
+		{"load", Load},
 	}
 }

@@ -1,6 +1,8 @@
 package mac
 
 import (
+	"fmt"
+	"strings"
 	"time"
 
 	"aggmac/internal/frame"
@@ -48,6 +50,24 @@ var (
 	// DBA: BA plus a 3-frame minimum at relays.
 	DBA = Scheme{AggregateUnicast: true, AggregateBroadcast: true, ClassifyTCPAcks: true, DelayMinFrames: 3}
 )
+
+// SchemeByName resolves the paper's abbreviation (case-insensitive) to its
+// scheme — the single resolver the CLIs share. The scenario schema
+// validates names against traffic.SchemeNames, which must list exactly
+// the names accepted here (enforced by a test in internal/core).
+func SchemeByName(name string) (Scheme, error) {
+	switch strings.ToLower(name) {
+	case "na":
+		return NA, nil
+	case "ua":
+		return UA, nil
+	case "ba":
+		return BA, nil
+	case "dba":
+		return DBA, nil
+	}
+	return Scheme{}, fmt.Errorf("unknown scheme %q (na|ua|ba|dba)", name)
+}
 
 // Name returns the paper's abbreviation for the scheme.
 func (s Scheme) Name() string {

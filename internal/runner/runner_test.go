@@ -11,6 +11,7 @@ import (
 	"aggmac/internal/core"
 	"aggmac/internal/mac"
 	"aggmac/internal/phy"
+	"aggmac/internal/traffic"
 )
 
 // smallSweep is a cheap grid used across the tests: 8 TCP runs of the
@@ -154,6 +155,34 @@ func TestMeshSpec(t *testing.T) {
 	}
 	if got := res[0].ThroughputMbps(); got != res[0].Mesh.AggregateMbps || got <= 0 {
 		t.Errorf("headline metric %v, aggregate %v", got, res[0].Mesh.AggregateMbps)
+	}
+}
+
+// TestScenarioSpec: a scenario spec runs through the pool and reports its
+// aggregate goodput as the headline metric.
+func TestScenarioSpec(t *testing.T) {
+	sc := traffic.Scenario{
+		Version:   traffic.SchemaVersion,
+		Name:      "runner-test",
+		DurationS: 20,
+		Schemes:   []string{"ba"},
+		Topology:  traffic.Topology{Kind: "grid", Nodes: 16},
+		Traffic: traffic.Traffic{
+			Mode:        traffic.ModeOpen,
+			ArrivalRate: 0.5,
+			Mix:         []traffic.WeightedModel{{Model: traffic.Model{Kind: traffic.Bulk, Bytes: 10_000}, Weight: 1}},
+		},
+	}
+	spec := Spec{Key: "scn", Scenario: &core.ScenarioConfig{Scenario: sc, Scheme: mac.BA, Seed: 1}}
+	res := run(t, 1, []Spec{spec})
+	if res[0].Err != nil || res[0].Scenario == nil {
+		t.Fatalf("scenario spec failed: %+v", res[0].Err)
+	}
+	if got := res[0].ThroughputMbps(); got != res[0].Scenario.AggregateMbps || got <= 0 {
+		t.Errorf("headline metric %v, aggregate %v", got, res[0].Scenario.AggregateMbps)
+	}
+	if res[0].Scenario.FlowsCompleted == 0 {
+		t.Error("no flow completed through the pool")
 	}
 }
 

@@ -1,0 +1,115 @@
+// Flow-arrival processes: the layer that decides WHEN flows begin, as
+// opposed to the Models that decide what each flow sends. Two disciplines
+// cover the classic workload dichotomy:
+//
+//   - OpenLoop: flows arrive by a Poisson process at a configured rate,
+//     regardless of how the network is coping — offered load is external,
+//     and congestion shows up as growing flow-completion times.
+//   - Think: a fixed population of closed-loop users; each starts its next
+//     flow an exponential think time after the previous one completes, so
+//     a slow network self-throttles the offered load.
+//
+// Both own decoupled seeded random streams, so arrival sequences are pure
+// functions of (parameters, seed).
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Traffic modes.
+const (
+	ModeOpen   = "open"   // open-loop Poisson flow arrivals
+	ModeClosed = "closed" // closed-loop think-time users
+)
+
+// OpenLoop is a Poisson flow-arrival process: inter-arrival gaps are
+// exponential with mean 1/rate.
+type OpenLoop struct {
+	rate float64 // flows per second
+	rng  *rand.Rand
+}
+
+// NewOpenLoop creates an arrival process at flowsPerSec on its own stream.
+func NewOpenLoop(flowsPerSec float64, seed int64) *OpenLoop {
+	if flowsPerSec <= 0 {
+		panic(fmt.Sprintf("traffic: arrival rate must be positive, got %g", flowsPerSec))
+	}
+	return &OpenLoop{rate: flowsPerSec, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the gap to the next flow arrival.
+func (o *OpenLoop) Next() time.Duration {
+	return time.Duration(o.rng.ExpFloat64() / o.rate * float64(time.Second))
+}
+
+// Think samples a closed-loop user's exponential think times.
+type Think struct {
+	mean time.Duration
+	rng  *rand.Rand
+}
+
+// NewThink creates a think-time sampler with the given mean on its own
+// stream (one per user, seeded via DeriveSeed, keeps users decoupled).
+func NewThink(mean time.Duration, seed int64) *Think {
+	if mean <= 0 {
+		panic(fmt.Sprintf("traffic: think time must be positive, got %v", mean))
+	}
+	return &Think{mean: mean, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the user's next think time.
+func (t *Think) Next() time.Duration {
+	return time.Duration(t.rng.ExpFloat64() * float64(t.mean))
+}
+
+// WeightedModel is one entry of a traffic mix.
+type WeightedModel struct {
+	Model  Model   `json:"model"`
+	Weight float64 `json:"weight"`
+}
+
+// Mix is a validated weighted set of traffic models; arriving flows sample
+// their model from it.
+type Mix struct {
+	entries []WeightedModel
+	total   float64
+}
+
+// NewMix validates the entries and builds a sampler.
+func NewMix(entries []WeightedModel) (Mix, error) {
+	if len(entries) == 0 {
+		return Mix{}, fmt.Errorf("traffic: mix needs at least one model")
+	}
+	var total float64
+	for i, e := range entries {
+		if e.Weight <= 0 {
+			return Mix{}, fmt.Errorf("traffic: mix entry %d weight must be positive, got %g", i, e.Weight)
+		}
+		if err := e.Model.Validate(); err != nil {
+			return Mix{}, fmt.Errorf("traffic: mix entry %d: %w", i, err)
+		}
+		total += e.Weight
+	}
+	return Mix{entries: entries, total: total}, nil
+}
+
+// Len returns the number of models in the mix.
+func (m Mix) Len() int { return len(m.entries) }
+
+// Model returns entry i's model.
+func (m Mix) Model(i int) Model { return m.entries[i].Model }
+
+// Pick samples a model index by weight from rng.
+func (m Mix) Pick(rng *rand.Rand) int {
+	x := rng.Float64() * m.total
+	for i, e := range m.entries {
+		x -= e.Weight
+		if x < 0 {
+			return i
+		}
+	}
+	return len(m.entries) - 1 // float round-off lands on the last entry
+}

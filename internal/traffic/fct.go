@@ -1,0 +1,51 @@
+package traffic
+
+import (
+	"sort"
+	"time"
+)
+
+// FCT collects flow-completion-time samples and summarizes them — the
+// metric that distinguishes aggregation schemes under churn, where
+// steady-state goodput cannot (a scheme that batches aggressively may move
+// more bytes yet finish every short flow later).
+type FCT struct {
+	samples []time.Duration
+}
+
+// Record adds one completed flow's completion time.
+func (f *FCT) Record(d time.Duration) { f.samples = append(f.samples, d) }
+
+// Count returns the number of recorded completions.
+func (f *FCT) Count() int { return len(f.samples) }
+
+// FCTStats summarizes flow completion times. Percentiles select
+// sorted[Count·p/100] — the upper-rank convention udp.DelayStats already
+// uses, kept identical so FCT and delay tables read the same way (for 100
+// samples, P99 is the maximum). A zero Count zeroes everything.
+type FCTStats struct {
+	Count         int
+	Mean          time.Duration
+	P50, P95, P99 time.Duration
+	Max           time.Duration
+}
+
+// Stats computes the summary without mutating the collector.
+func (f *FCT) Stats() FCTStats {
+	st := FCTStats{Count: len(f.samples)}
+	if st.Count == 0 {
+		return st
+	}
+	sorted := append([]time.Duration(nil), f.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	st.Mean = sum / time.Duration(st.Count)
+	st.P50 = sorted[st.Count/2]
+	st.P95 = sorted[st.Count*95/100]
+	st.P99 = sorted[st.Count*99/100]
+	st.Max = sorted[st.Count-1]
+	return st
+}
