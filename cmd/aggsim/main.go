@@ -140,6 +140,7 @@ func main() {
 		crossFl   = flag.Int("cross-flows", 0, "mesh chains: vertical cross-traffic flows")
 		minHops   = flag.Int("min-hops", 2, "mesh grid/disk: minimum route length for sampled flows")
 		dense     = flag.Bool("dense-scan", false, "mesh: force the O(N) dense-scan medium (perf baseline)")
+		shards    = flag.Int("shards", 0, "mesh: run the event core on N parallel shards (0 = sequential; static -topo only; 1 is bit-identical to sequential)")
 
 		mobility = flag.String("mobility", "", "mesh: mobility model: waypoint | drift (empty = static)")
 		speed    = flag.Float64("speed", 1, "mesh mobility: node speed in spacing units per second")
@@ -219,6 +220,9 @@ func main() {
 		if *dense || *flows != 0 || *crossFl != 0 {
 			fatal(fmt.Errorf("-dense-scan/-flows/-cross-flows do not apply in workload mode (the engine samples its own flows)"))
 		}
+		if *shards != 0 {
+			fatal(fmt.Errorf("-shards applies to static -topo TCP runs only"))
+		}
 		model := *traffic
 		if model == "tcp" {
 			model = wl.Pareto // web-like objects by default
@@ -270,15 +274,31 @@ func main() {
 		if *csvOut {
 			fatal(fmt.Errorf("-csv is not supported in -topo mode"))
 		}
+		if *shards < 0 || *shards > core.MaxShards {
+			fatal(fmt.Errorf("-shards must be in 0..%d", core.MaxShards))
+		}
+		if *shards > 0 {
+			switch {
+			case *mobility != "":
+				fatal(fmt.Errorf("-shards supports static topologies only (drop -mobility)"))
+			case *dense:
+				fatal(fmt.Errorf("-shards requires the neighbor-indexed medium (drop -dense-scan)"))
+			case traceTo != nil:
+				fatal(fmt.Errorf("-shards cannot stream the channel timeline (drop -trace)"))
+			}
+		}
 		runMesh(meshArgs{
 			topo: *topo, scheme: schemes[0], rate: rates[0],
 			nodes: *nodes, flows: *flows, chains: *chains, chainHops: *chainHops,
-			crossFlows: *crossFl, minHops: *minHops, dense: *dense,
+			crossFlows: *crossFl, minHops: *minHops, dense: *dense, shards: *shards,
 			mobility: *mobility, speed: *speed, pause: *pause, moveIv: *moveIv,
 			file: *file, agg: *agg, seed: *seed, verbose: *verbose,
 			jsonOut: *jsonOut, traceTo: traceTo, traceNodes: traceNodes,
 		})
 		return
+	}
+	if *shards != 0 {
+		fatal(fmt.Errorf("-shards applies to static -topo TCP runs only"))
 	}
 
 	if len(schemes)*len(rates)*len(hops) > 1 || *reps > 1 {
@@ -471,6 +491,7 @@ type meshArgs struct {
 	crossFlows        int
 	minHops           int
 	dense             bool
+	shards            int
 	mobility          string
 	speed             float64
 	pause, moveIv     time.Duration
@@ -487,7 +508,7 @@ func runMesh(a meshArgs) {
 		Scheme: a.scheme, Rate: a.rate,
 		Topology: a.topo, Nodes: a.nodes, Flows: a.flows,
 		Chains: a.chains, ChainHops: a.chainHops, CrossFlows: a.crossFlows,
-		MinHops: a.minHops, DenseScan: a.dense,
+		MinHops: a.minHops, DenseScan: a.dense, Shards: a.shards,
 		Mobility: a.mobility, Speed: a.speed, Pause: a.pause, MoveInterval: a.moveIv,
 		FileBytes: a.file, MaxAggBytes: a.agg, Seed: a.seed,
 		TraceTo: a.traceTo, TraceNodes: a.traceNodes,
@@ -498,6 +519,9 @@ func runMesh(a meshArgs) {
 	}
 	fmt.Printf("scheme=%s rate=%v topology=%s nodes=%d links=%d avg-degree=%.1f\n",
 		a.scheme.Name(), a.rate, a.topo, res.NodeCount, res.LinkCount, res.AvgDegree)
+	if res.Shards > 0 {
+		fmt.Printf("parallel engine: %d shards, %d events executed\n", res.Shards, res.EventsRun)
+	}
 	if a.mobility != "" {
 		fmt.Printf("mobility=%s speed=%g interval=%v: %d link ups, %d link downs, %d route flaps over %d recomputes\n",
 			a.mobility, a.speed, a.moveIv,

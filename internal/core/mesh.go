@@ -77,6 +77,16 @@ type MeshTCPConfig struct {
 	// DenseScan forces the medium's O(N) dense-scan oracle instead of the
 	// neighbor index — the baseline the scaling benches compare against.
 	DenseScan bool
+	// Shards selects the sharded parallel engine: the mesh is partitioned
+	// into Shards contiguous spatial domains, each running its own event
+	// loop, synchronized conservatively with lookahead ShardLookahead (see
+	// mesh_parallel.go). 0 (default) runs the sequential engine. Shards: 1
+	// is byte-identical to sequential; Shards > 1 is statistically
+	// equivalent (cross-shard carrier sense inside the first lookahead
+	// window of a frame is approximated) and deterministic for a given
+	// shard count. Static topologies only: Mobility, DenseScan and TraceTo
+	// are rejected.
+	Shards int
 	// Mobility selects a node-motion model: "" (static, the default),
 	// MobilityWaypoint or MobilityDrift. Moving nodes change link
 	// existence and SNR with distance; every MoveInterval the positions
@@ -129,8 +139,12 @@ type MeshResult struct {
 	Completed bool
 	// Elapsed is the slowest completed flow's finish time.
 	Elapsed time.Duration
-	// EventsRun pins the executed-event count for determinism tests.
+	// EventsRun pins the executed-event count for determinism tests (the
+	// sum over shards on parallel runs).
 	EventsRun uint64
+	// Shards records the engine that produced the run: 0 for the
+	// sequential scheduler, otherwise the parallel shard count.
+	Shards int
 	// Topology shape: NodeCount is fixed; LinkCount and AvgDegree are
 	// measured at the end of the run (mobility churns them).
 	NodeCount, LinkCount int
@@ -182,20 +196,24 @@ func (c *MeshTCPConfig) phyParams() phy.Params {
 	return phy.DefaultParams()
 }
 
+// optsFor returns node i's MAC options (shared by the sequential build and
+// the sharded rebuild, which must configure identical MACs).
+func (c *MeshTCPConfig) optsFor(i, n int) mac.Options {
+	opts := mac.DefaultOptions(c.Scheme, c.Rate)
+	opts.MaxAggBytes = c.MaxAggBytes
+	if c.Tweak != nil {
+		c.Tweak(&opts)
+	}
+	return opts
+}
+
 // buildMesh constructs the configured topology.
 func (c *MeshTCPConfig) buildMesh() *topology.Mesh {
 	mcfg := topology.MeshConfig{
 		Config: topology.Config{
-			Seed: c.Seed,
-			Phy:  c.phyParams(),
-			OptsFor: func(i, n int) mac.Options {
-				opts := mac.DefaultOptions(c.Scheme, c.Rate)
-				opts.MaxAggBytes = c.MaxAggBytes
-				if c.Tweak != nil {
-					c.Tweak(&opts)
-				}
-				return opts
-			},
+			Seed:    c.Seed,
+			Phy:     c.phyParams(),
+			OptsFor: c.optsFor,
 		},
 		Radio: c.Radio,
 	}
@@ -333,12 +351,17 @@ func startMobility(m *topology.Mesh, model string, speed float64, pause, interva
 
 // RunMeshTCP executes the experiment: build the mesh, start every flow
 // (staggered a few hundred µs apart so the initial SYNs do not collide on
-// identical backoff draws), run to completion or deadline.
+// identical backoff draws), run to completion or deadline. With Shards set
+// the run executes on the sharded parallel engine instead of the
+// sequential scheduler (see mesh_parallel.go).
 func RunMeshTCP(cfg MeshTCPConfig) MeshResult {
 	cfg.fill()
 	tcfg := cfg.TCP
 	if tcfg.MSS == 0 {
 		tcfg = tcp.DefaultConfig()
+	}
+	if cfg.Shards > 0 {
+		return runMeshTCPSharded(cfg, tcfg)
 	}
 
 	m := cfg.buildMesh()
@@ -357,9 +380,26 @@ func RunMeshTCP(cfg MeshTCPConfig) MeshResult {
 
 	churn := startMobility(m, cfg.Mobility, cfg.Speed, cfg.Pause, cfg.MoveInterval, cfg.Seed)
 
+	wireFlows(&cfg, flows, stacks,
+		func(network.NodeID) *sim.Scheduler { return m.Sched }, m.Sched.Halt)
+
+	m.Sched.RunUntil(cfg.Deadline)
+
+	return assembleMeshResult(&cfg, flows, m.Nodes, m.LinkCount, m.AvgDegree(), churn, m.Sched.EventsRun())
+}
+
+// wireFlows installs every planned flow: a listener plus completion
+// bookkeeping on the client's scheduler, and a staggered connect event on
+// the server's. onAllDone (when non-nil) fires as the last flow completes;
+// parallel runs with more than one shard pass nil — flow completions land
+// on different goroutines there, and the run drains to the deadline
+// deterministically instead of halting early.
+func wireFlows(cfg *MeshTCPConfig, flows []*meshFlow, stacks []*tcp.Stack,
+	schedFor func(network.NodeID) *sim.Scheduler, onAllDone func()) {
 	remaining := len(flows)
 	for i, f := range flows {
 		i, f := i, f
+		cli := schedFor(f.client)
 		lis := stacks[f.client].Listen(f.port)
 		var got int64
 		lis.Setup = func(conn *tcp.Conn) {
@@ -367,17 +407,19 @@ func RunMeshTCP(cfg MeshTCPConfig) MeshResult {
 				got += int64(len(b))
 				if !f.done && got >= int64(cfg.FileBytes) {
 					f.done = true
-					f.finish = m.Sched.Now()
-					remaining--
-					if remaining == 0 {
-						m.Sched.Halt()
+					f.finish = cli.Now()
+					if onAllDone != nil {
+						remaining--
+						if remaining == 0 {
+							onAllDone()
+						}
 					}
 				}
 			}
 			conn.OnPeerClose = func() { conn.Close() }
 		}
 		start := time.Duration(i) * 150 * time.Microsecond
-		m.Sched.After(start, "mesh:connect", func() {
+		schedFor(f.server).After(start, "mesh:connect", func() {
 			conn := stacks[f.server].Connect(f.client, f.port)
 			data := make([]byte, cfg.FileBytes)
 			conn.OnEstablished = func() {
@@ -386,15 +428,18 @@ func RunMeshTCP(cfg MeshTCPConfig) MeshResult {
 			}
 		})
 	}
+}
 
-	m.Sched.RunUntil(cfg.Deadline)
-
+// assembleMeshResult turns the finished run's state into a MeshResult;
+// shared by the sequential and sharded paths.
+func assembleMeshResult(cfg *MeshTCPConfig, flows []*meshFlow, nodes []*network.Node,
+	linkCount int, avgDegree float64, churn *mobilityChurn, eventsRun uint64) MeshResult {
 	res := MeshResult{
 		Completed:       true,
-		EventsRun:       m.Sched.EventsRun(),
-		NodeCount:       len(m.Nodes),
-		LinkCount:       m.LinkCount,
-		AvgDegree:       m.AvgDegree(),
+		EventsRun:       eventsRun,
+		NodeCount:       len(nodes),
+		LinkCount:       linkCount,
+		AvgDegree:       avgDegree,
 		LinkUps:         churn.LinkUps,
 		LinkDowns:       churn.LinkDowns,
 		RouteFlaps:      churn.RouteFlaps,
@@ -425,11 +470,11 @@ func RunMeshTCP(cfg MeshTCPConfig) MeshResult {
 		res.MinMbps = 0
 	}
 
-	role := make([]string, len(m.Nodes))
+	role := make([]string, len(nodes))
 	for i := range role {
 		role[i] = "idle"
 	}
-	for i, node := range m.Nodes {
+	for i, node := range nodes {
 		if node.Stats().Forwarded > 0 {
 			role[i] = "relay"
 		}
@@ -440,7 +485,7 @@ func RunMeshTCP(cfg MeshTCPConfig) MeshResult {
 	for _, f := range flows {
 		role[f.server] = "server"
 	}
-	for i, node := range m.Nodes {
+	for i, node := range nodes {
 		res.Nodes = append(res.Nodes, NodeReport{
 			ID:            i,
 			Role:          role[i],

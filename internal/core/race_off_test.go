@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled mirrors the race build tag so heavyweight statistical sweeps
+// can shrink under the race detector, where each run costs ~20x wall clock.
+const raceEnabled = false

@@ -64,6 +64,44 @@ type link struct {
 	snrdB     float64
 }
 
+// LinkTable is the connectivity state of a network: the dense N×N directed
+// link matrix plus the incrementally-maintained neighbor index. A table is
+// normally owned by a single Medium, but the sharded engine shares one
+// read-only table across every shard's medium so the O(N²) matrix exists
+// once per run, not once per shard. Sharing contract: connectivity and SNR
+// must not change while more than one medium is attached (the parallel mesh
+// path is static-topology only and enforces this).
+type LinkTable struct {
+	links [][]link
+	// nbrs[src] lists, in ascending node id, every dst with
+	// links[src][dst].connected — the nodes that can hear src. It is
+	// maintained incrementally by the connectivity setters and is what the
+	// hot paths iterate; the dense matrix stays authoritative (the property
+	// tests check the index against it).
+	nbrs [][]NodeID
+}
+
+// NewLinkTable builds a table for n nodes with every link cut; SNR defaults
+// to params.SNRdB once connected.
+func NewLinkTable(params phy.Params, n int) *LinkTable {
+	t := &LinkTable{
+		links: make([][]link, n),
+		nbrs:  make([][]NodeID, n),
+	}
+	for i := range t.links {
+		t.links[i] = make([]link, n)
+		for j := range t.links[i] {
+			if i != j {
+				t.links[i][j].snrdB = params.SNRdB
+			}
+		}
+	}
+	return t
+}
+
+// N returns the number of nodes the table covers.
+func (t *LinkTable) N() int { return len(t.links) }
+
 // transmission is pooled: Medium recycles finished transmissions (and their
 // audience/collided/interfSNR/spans backing arrays) through a free list, so
 // putting a frame on the air allocates only its marshaled body — which is
@@ -123,11 +161,40 @@ type Observer func(Event)
 type Stats struct {
 	ControlTx    int
 	AggregateTx  int
+	ForeignTx    int // transmissions replayed from another shard's medium
 	Collisions   int // receptions destroyed by overlap
 	Captures     int // receptions that survived a collision via capture
 	HalfDuplex   int // receptions missed because the receiver was transmitting
 	CorruptCtrl  int // control frames destroyed by noise
 	AirtimeTotal time.Duration
+}
+
+// Add accumulates o's counters into s; the parallel mesh path sums its
+// shard media into one channel-wide view.
+func (s *Stats) Add(o Stats) {
+	s.ControlTx += o.ControlTx
+	s.AggregateTx += o.AggregateTx
+	s.ForeignTx += o.ForeignTx
+	s.Collisions += o.Collisions
+	s.Captures += o.Captures
+	s.HalfDuplex += o.HalfDuplex
+	s.CorruptCtrl += o.CorruptCtrl
+	s.AirtimeTotal += o.AirtimeTotal
+}
+
+// ForeignFrame describes a locally-launched transmission in the form the
+// sharded engine replays into neighboring shards' media. Body is the shared
+// immutable marshaled aggregate (nil for control frames) and may be
+// retained; Spans aliases the live transmission's pooled backing array, so
+// a boundary hook that keeps the frame past its own return MUST copy Spans.
+type ForeignFrame struct {
+	Src        NodeID
+	Start, End sim.Time
+	IsControl  bool
+	Control    frame.Control
+	Hdr        frame.PHYHeader
+	Body       []byte
+	Spans      []frame.Span
 }
 
 // Medium is the shared channel.
@@ -139,17 +206,16 @@ type Medium struct {
 	radios []Radio
 	busy   []int // energy-detect refcount per node
 	txBusy []int // outstanding own transmissions per node (half duplex)
-	links  [][]link
-	// nbrs[src] lists, in ascending node id, every dst with
-	// links[src][dst].connected — the nodes that can hear src. It is
-	// maintained incrementally by the connectivity setters and is what the
-	// hot paths iterate; the dense matrix stays authoritative (the
-	// property tests check the index against it).
-	nbrs [][]NodeID
+	// tbl holds the link matrix and neighbor index. Normally private to
+	// this medium; shard media share one read-only table (see LinkTable).
+	tbl *LinkTable
 	// denseScan, when set, makes launch/finish scan every radio against
 	// the link matrix (the seed behavior) instead of using the neighbor
 	// index. It exists as a test oracle and benchmark baseline.
 	denseScan bool
+	// boundary, when set, observes every locally-originated transmission at
+	// launch so the sharded engine can replay it into neighboring shards.
+	boundary func(ForeignFrame)
 
 	active   []*transmission
 	txFree   []*transmission // recycled transmissions (pooled arrays)
@@ -165,11 +231,11 @@ type Medium struct {
 // New creates a medium for up to n nodes, fully connected at params.SNRdB.
 func New(sched *sim.Scheduler, params phy.Params, n int) *Medium {
 	m := newMedium(sched, params, n)
-	for i := range m.links {
-		for j := range m.links[i] {
+	for i := range m.tbl.links {
+		for j := range m.tbl.links[i] {
 			if i != j {
-				m.links[i][j].connected = true
-				m.nbrs[i] = append(m.nbrs[i], NodeID(j))
+				m.tbl.links[i][j].connected = true
+				m.tbl.nbrs[i] = append(m.tbl.nbrs[i], NodeID(j))
 			}
 		}
 	}
@@ -184,26 +250,33 @@ func NewUnconnected(sched *sim.Scheduler, params phy.Params, n int) *Medium {
 	return newMedium(sched, params, n)
 }
 
-func newMedium(sched *sim.Scheduler, params phy.Params, n int) *Medium {
-	m := &Medium{
+// NewOnTable creates a medium that shares an existing link table instead of
+// owning one. The sharded engine gives every shard's medium the same table,
+// so one N² matrix serves the whole run; see LinkTable for the sharing
+// contract.
+func NewOnTable(sched *sim.Scheduler, params phy.Params, tbl *LinkTable) *Medium {
+	n := tbl.N()
+	return &Medium{
 		sched:  sched,
 		params: params,
 		errs:   phy.NewErrorCache(params),
 		radios: make([]Radio, n),
 		busy:   make([]int, n),
 		txBusy: make([]int, n),
-		links:  make([][]link, n),
-		nbrs:   make([][]NodeID, n),
+		tbl:    tbl,
 	}
-	for i := range m.links {
-		m.links[i] = make([]link, n)
-		for j := range m.links[i] {
-			if i != j {
-				m.links[i][j].snrdB = params.SNRdB
-			}
-		}
+}
+
+func newMedium(sched *sim.Scheduler, params phy.Params, n int) *Medium {
+	return &Medium{
+		sched:  sched,
+		params: params,
+		errs:   phy.NewErrorCache(params),
+		radios: make([]Radio, n),
+		busy:   make([]int, n),
+		txBusy: make([]int, n),
+		tbl:    NewLinkTable(params, n),
 	}
-	return m
 }
 
 // getTx pops a pooled transmission (or makes the pool's next one). The
@@ -279,14 +352,14 @@ func (m *Medium) SetConnectedDirected(from, to NodeID, connected bool) {
 	if from == to {
 		return // self-links are meaningless (Connected is always false)
 	}
-	if m.links[from][to].connected == connected {
+	if m.tbl.links[from][to].connected == connected {
 		return
 	}
-	m.links[from][to].connected = connected
+	m.tbl.links[from][to].connected = connected
 	if connected {
-		m.nbrs[from] = insertSorted(m.nbrs[from], to)
+		m.tbl.nbrs[from] = insertSorted(m.tbl.nbrs[from], to)
 	} else {
-		m.nbrs[from] = removeSorted(m.nbrs[from], to)
+		m.tbl.nbrs[from] = removeSorted(m.tbl.nbrs[from], to)
 	}
 }
 
@@ -314,31 +387,71 @@ func (m *Medium) SetCapture(marginDB float64) { m.captureDB = marginDB }
 
 // SetSNR overrides the SNR of the bidirectional link between a and b.
 func (m *Medium) SetSNR(a, b NodeID, snrdB float64) {
-	m.links[a][b].snrdB = snrdB
-	m.links[b][a].snrdB = snrdB
+	m.tbl.links[a][b].snrdB = snrdB
+	m.tbl.links[b][a].snrdB = snrdB
 }
 
+// Table returns the medium's link table, for sharing with NewOnTable.
+func (m *Medium) Table() *LinkTable { return m.tbl }
+
 // Connected reports whether b can hear a.
-func (m *Medium) Connected(a, b NodeID) bool { return a != b && m.links[a][b].connected }
+func (m *Medium) Connected(a, b NodeID) bool { return a != b && m.tbl.links[a][b].connected }
 
 // SNR returns the configured SNR of the a→b link in dB (meaningful only
 // while the link is connected; mobility tests use it to audit refreshes).
-func (m *Medium) SNR(a, b NodeID) float64 { return m.links[a][b].snrdB }
+func (m *Medium) SNR(a, b NodeID) float64 { return m.tbl.links[a][b].snrdB }
 
 // Neighbors returns the nodes that can hear src, in ascending id order.
 // The slice is the medium's live index: callers must not modify it and must
 // not retain it across connectivity changes.
-func (m *Medium) Neighbors(src NodeID) []NodeID { return m.nbrs[src] }
+func (m *Medium) Neighbors(src NodeID) []NodeID { return m.tbl.nbrs[src] }
 
 // Degree returns how many nodes can hear src.
-func (m *Medium) Degree(src NodeID) int { return len(m.nbrs[src]) }
+func (m *Medium) Degree(src NodeID) int { return len(m.tbl.nbrs[src]) }
 
 // SetDenseScan switches the medium between the neighbor-indexed hot paths
 // (default) and the seed's dense scan over every radio. The two are
 // behaviorally identical — the equivalence tests assert it — but dense
 // scanning costs O(N) per transmission; it is kept as a test oracle and as
 // the baseline the scaling benchmarks compare against.
-func (m *Medium) SetDenseScan(dense bool) { m.denseScan = dense }
+func (m *Medium) SetDenseScan(dense bool) {
+	if dense && m.boundary != nil {
+		panic("medium: dense scan is incompatible with a boundary hook (sharded runs are neighbor-indexed only)")
+	}
+	m.denseScan = dense
+}
+
+// SetBoundary installs the sharded engine's hook: it observes every
+// locally-originated transmission at launch (after local collision marking
+// and energy detect) so the engine can replay it into neighboring shards.
+// See ForeignFrame for the aliasing rules. nil disables.
+func (m *Medium) SetBoundary(post func(ForeignFrame)) {
+	if post != nil && m.denseScan {
+		panic("medium: boundary hook is incompatible with dense scan")
+	}
+	m.boundary = post
+}
+
+// InjectForeign replays a transmission that originated in another shard's
+// medium over the same LinkTable. The local clock must be within
+// [ff.Start, ff.End]: carrier-busy and collision marking take effect from
+// now (the engine injects at Start + lookahead, so at most the first
+// lookahead window of overlap is missed locally — the source shard marks
+// its own receivers exactly), while delivery to in-range attached radios
+// happens at exactly ff.End, byte-identical to a local reception.
+func (m *Medium) InjectForeign(ff ForeignFrame) {
+	now := m.sched.Now()
+	if now < ff.Start || now > ff.End {
+		panic(fmt.Sprintf("medium: InjectForeign at %v outside frame window [%v, %v]", now, ff.Start, ff.End))
+	}
+	t := m.getTx()
+	t.src, t.start, t.end = ff.Src, ff.Start, ff.End
+	t.isControl, t.control, t.hdr = ff.IsControl, ff.Control, ff.Hdr
+	t.body = ff.Body
+	t.spans = append(t.spans[:0], ff.Spans...)
+	m.stats.ForeignTx++
+	m.enter(t)
+}
 
 // CarrierBusy reports whether node id currently senses energy from others.
 func (m *Medium) CarrierBusy(id NodeID) bool { return m.busy[id] > 0 }
@@ -402,7 +515,7 @@ func (m *Medium) TransmitAggregate(src NodeID, agg *frame.Aggregate) time.Durati
 // t.src, ascending by node id, by walking the neighbor list: O(deg).
 func (m *Medium) captureAudience(t *transmission) {
 	t.audience = t.audience[:0]
-	for _, nid := range m.nbrs[t.src] {
+	for _, nid := range m.tbl.nbrs[t.src] {
 		if m.radios[nid] != nil {
 			t.audience = append(t.audience, nid)
 		}
@@ -414,8 +527,22 @@ func (m *Medium) launch(t *transmission) {
 		m.launchDense(t)
 		return
 	}
-	d := t.end - t.start
-	m.stats.AirtimeTotal += d
+	m.stats.AirtimeTotal += t.end - t.start
+	m.enter(t)
+	if m.boundary != nil {
+		m.boundary(ForeignFrame{
+			Src: t.src, Start: t.start, End: t.end,
+			IsControl: t.isControl, Control: t.control,
+			Hdr: t.hdr, Body: t.body, Spans: t.spans,
+		})
+	}
+}
+
+// enter puts t on the air: audience capture, mutual collision marking,
+// energy detect, and the scheduled finish. Shared by local launches (where
+// t.start == now) and foreign injections (where t.start is up to the engine
+// lookahead in the past).
+func (m *Medium) enter(t *transmission) {
 	m.captureAudience(t)
 
 	// Mark collisions both ways against transmissions already on the air,
@@ -437,8 +564,8 @@ func (m *Medium) launch(t *transmission) {
 				continue
 			}
 			// nid hears both transmitters: both frames are damaged there.
-			t.addInterf(nid, m.links[other.src][nid].snrdB)
-			other.addInterf(nid, m.links[t.src][nid].snrdB)
+			t.addInterf(nid, m.tbl.links[other.src][nid].snrdB)
+			other.addInterf(nid, m.tbl.links[t.src][nid].snrdB)
 		}
 	}
 	t.activeIdx = len(m.active)
@@ -453,7 +580,7 @@ func (m *Medium) launch(t *transmission) {
 		}
 	}
 
-	m.sched.After(d, "medium:txEnd", t.finishFn)
+	m.sched.After(t.end-m.sched.Now(), "medium:txEnd", t.finishFn)
 }
 
 // launchDense is the seed's launch: collision marking and energy detect
@@ -473,8 +600,8 @@ func (m *Medium) launchDense(t *transmission) {
 		for id := range m.radios {
 			nid := NodeID(id)
 			if m.Connected(t.src, nid) && m.Connected(other.src, nid) {
-				t.addInterf(nid, m.links[other.src][nid].snrdB)
-				other.addInterf(nid, m.links[t.src][nid].snrdB)
+				t.addInterf(nid, m.tbl.links[other.src][nid].snrdB)
+				other.addInterf(nid, m.tbl.links[t.src][nid].snrdB)
 			}
 		}
 	}
@@ -569,7 +696,7 @@ func (m *Medium) deliver(t *transmission, dst NodeID) {
 	}
 	if t.collided[dst] {
 		captured := m.captureDB > 0 &&
-			m.links[t.src][dst].snrdB-t.interfSNR[dst] >= m.captureDB
+			m.tbl.links[t.src][dst].snrdB-t.interfSNR[dst] >= m.captureDB
 		if !captured {
 			m.stats.Collisions++
 			m.emit(Event{Kind: "collision", Src: t.src, Dst: dst})
@@ -577,7 +704,7 @@ func (m *Medium) deliver(t *transmission, dst NodeID) {
 		}
 		m.stats.Captures++
 	}
-	snr := m.links[t.src][dst].snrdB
+	snr := m.tbl.links[t.src][dst].snrdB
 	shift := snr - m.params.SNRdB // per-link adjustment
 
 	if t.isControl {

@@ -1,0 +1,499 @@
+// Sharded parallel execution: a conservative bounded-lag engine that runs K
+// independent Schedulers on K goroutines and synchronizes them with a fixed
+// lookahead L.
+//
+// Model. Each shard owns a Scheduler and publishes a monotone clock C_i: a
+// lower bound on the time of any event the shard will ever execute in the
+// future. Because every cross-shard effect is posted at least L after the
+// event that causes it (Post enforces at >= now+L), shard j may safely
+// execute any event strictly below its horizon
+//
+//	H_j = min over connected neighbors i of (C_i + L).
+//
+// Cross-shard effects arrive as timestamped boundary events in per-directed-
+// pair inboxes and are merged through a per-shard staging heap ordered by
+// (time, source shard, source sequence), so the execution order — and
+// therefore the whole run — is a pure function of the configuration,
+// independent of goroutine scheduling, GOMAXPROCS, or wall-clock timing.
+//
+// Why draining inboxes once per horizon computation is sufficient: a shard
+// reads neighbor clocks with acquire loads, and a sender pushes to the inbox
+// before publishing the clock value (release store) that the receiver's
+// horizon was computed from. Any event a neighbor pushes after that clock
+// read carries a timestamp >= (observed clock) + L = the receiver's current
+// horizon, so it cannot belong to the current batch.
+//
+// Termination uses a double-collect: a shard with no executable work left
+// (nothing at or below the deadline, locally or staged) marks itself idle;
+// any idle shard may then snapshot all status words, verify every inbox's
+// pushed count equals its drained count, and re-verify the snapshot
+// unchanged. Shards bump an epoch in their status word before leaving the
+// idle state, so a successful double-collect proves no event was in flight.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxTime is the horizon of a shard with no neighbors (never constrained).
+const maxTime = Time(math.MaxInt64)
+
+// A blocked shard spins (Gosched between passes) up to blockedSpins times
+// waiting for a neighbor clock to move, then parks in short sleeps. Spinning
+// keeps handoff latency far below the sleep timer's wake granularity, so
+// normal builds effectively never nap (see shard_norace.go). Under the race
+// detector every pass costs microseconds of instrumented atomics and the
+// spinners starve the one shard that can progress, so race builds cut the
+// spin budget and fall back to sleeping (shard_race.go). Wall-clock timing
+// never affects event order, so this is performance-only.
+const blockedNap = 20 * time.Microsecond
+
+// boundaryEvent is one cross-shard effect: fn runs on the destination shard
+// with the destination scheduler's clock advanced exactly to at.
+type boundaryEvent struct {
+	at  Time
+	src int32  // source shard, first tie-break
+	seq uint64 // per-(src,dst) FIFO sequence, second tie-break
+	fn  func()
+}
+
+// inbox carries boundary events for one directed shard pair. The sender
+// appends under mu and then increments pushed (release); the receiver swaps
+// the slice out under mu. pushed/drained are compared by the termination
+// double-collect to detect in-flight events.
+type inbox struct {
+	mu      sync.Mutex
+	items   []boundaryEvent
+	spare   []boundaryEvent // recycled backing array for items
+	pushed  atomic.Uint64
+	drained atomic.Uint64
+}
+
+// paddedClock keeps each published clock on its own cache line so shards do
+// not false-share their hottest word.
+type paddedClock struct {
+	_ [64]byte
+	v atomic.Int64
+	_ [56]byte
+}
+
+// engineShard is the per-goroutine state.
+type engineShard struct {
+	id    int
+	sched *Scheduler
+	nbrs  []int    // connected shards, ascending
+	in    []*inbox // indexed by source shard id; nil when not connected
+	out   []*inbox // indexed by destination shard id; nil when not connected
+	seq   []uint64 // next boundary sequence per destination shard
+
+	staging []boundaryEvent // min-heap ordered by (at, src, seq)
+
+	// status is epoch<<1 | idleBit, written only by the owner.
+	status atomic.Uint64
+
+	panicked any
+}
+
+// ShardEngine couples K Schedulers under conservative synchronization.
+// Build one with NewShardEngine, declare cross-shard reachability with
+// Connect, then Run. Post may only be called from inside an event executing
+// on the source shard.
+type ShardEngine struct {
+	shards   []*engineShard
+	clocks   []paddedClock
+	look     Time
+	deadline Time
+	done     atomic.Bool
+	running  atomic.Bool
+}
+
+// NewShardEngine builds an engine over the given schedulers. lookahead is
+// the minimum delay between a source event and any effect it may post to
+// another shard; it must be positive.
+func NewShardEngine(scheds []*Scheduler, lookahead Time) *ShardEngine {
+	if len(scheds) == 0 {
+		panic("sim: ShardEngine needs at least one shard")
+	}
+	if lookahead <= 0 {
+		panic("sim: ShardEngine lookahead must be positive")
+	}
+	e := &ShardEngine{
+		shards: make([]*engineShard, len(scheds)),
+		clocks: make([]paddedClock, len(scheds)),
+		look:   lookahead,
+	}
+	for i, s := range scheds {
+		if s == nil {
+			panic("sim: ShardEngine scheduler is nil")
+		}
+		e.shards[i] = &engineShard{
+			id:    i,
+			sched: s,
+			in:    make([]*inbox, len(scheds)),
+			out:   make([]*inbox, len(scheds)),
+			seq:   make([]uint64, len(scheds)),
+		}
+	}
+	return e
+}
+
+// Shards returns the number of shards.
+func (e *ShardEngine) Shards() int { return len(e.shards) }
+
+// Lookahead returns the engine's conservative lookahead L.
+func (e *ShardEngine) Lookahead() Time { return e.look }
+
+// Connect declares that shards a and b can affect each other: each
+// constrains the other's horizon and gets an inbox in each direction.
+// Connect the exact pairs that share a radio link across the partition
+// boundary; unconnected pairs may not Post to each other.
+func (e *ShardEngine) Connect(a, b int) {
+	if e.running.Load() {
+		panic("sim: Connect after Run started")
+	}
+	if a == b {
+		panic("sim: Connect of a shard to itself")
+	}
+	sa, sb := e.shards[a], e.shards[b]
+	if sa.out[b] != nil {
+		return
+	}
+	ab, ba := &inbox{}, &inbox{}
+	sa.out[b], sb.in[a] = ab, ab
+	sb.out[a], sa.in[b] = ba, ba
+	sa.nbrs = insertSorted(sa.nbrs, b)
+	sb.nbrs = insertSorted(sb.nbrs, a)
+}
+
+func insertSorted(s []int, v int) []int {
+	i := 0
+	for i < len(s) && s[i] < v {
+		i++
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Post schedules fn on shard dst at absolute time at. It must be called
+// from an event executing on shard src, and at must respect the lookahead
+// contract: at >= src's current time + L. fn runs with dst's scheduler
+// advanced exactly to at.
+func (e *ShardEngine) Post(src, dst int, at Time, fn func()) {
+	s := e.shards[src]
+	if min := s.sched.Now() + e.look; at < min {
+		panic(fmt.Sprintf("sim: Post from shard %d at %v violates lookahead (now %v + L %v)",
+			src, at, s.sched.Now(), e.look))
+	}
+	box := s.out[dst]
+	if box == nil {
+		panic(fmt.Sprintf("sim: Post from shard %d to unconnected shard %d", src, dst))
+	}
+	ev := boundaryEvent{at: at, src: int32(src), seq: s.seq[dst], fn: fn}
+	s.seq[dst]++
+	box.mu.Lock()
+	box.items = append(box.items, ev)
+	box.mu.Unlock()
+	box.pushed.Add(1)
+}
+
+// Run executes all shards concurrently until every shard has drained its
+// work at or below deadline (or halted), then advances every scheduler's
+// clock to the deadline, mirroring Scheduler.RunUntil. Run may be called
+// once per engine.
+func (e *ShardEngine) Run(deadline Time) {
+	if e.running.Swap(true) {
+		panic("sim: ShardEngine.Run called twice")
+	}
+	e.deadline = deadline
+	var wg sync.WaitGroup
+	for _, s := range e.shards {
+		wg.Add(1)
+		go func(s *engineShard) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					s.panicked = r
+					e.done.Store(true)
+				}
+			}()
+			e.runShard(s)
+		}(s)
+	}
+	wg.Wait()
+	for _, s := range e.shards {
+		if s.panicked != nil {
+			panic(s.panicked)
+		}
+	}
+	for _, s := range e.shards {
+		if s.sched.Now() < deadline {
+			s.sched.AdvanceTo(deadline)
+		}
+	}
+}
+
+// horizon returns the largest time strictly below which s may execute.
+func (e *ShardEngine) horizon(s *engineShard) Time {
+	h := maxTime
+	for _, n := range s.nbrs {
+		c := Time(e.clocks[n].v.Load())
+		if c+e.look < h {
+			h = c + e.look
+		}
+	}
+	return h
+}
+
+// publish raises shard s's clock to t (owner-only writer, so a plain
+// compare suffices; the store has release semantics).
+func (e *ShardEngine) publish(s *engineShard, t Time) {
+	if int64(t) > e.clocks[s.id].v.Load() {
+		e.clocks[s.id].v.Store(int64(t))
+	}
+}
+
+// drain moves every pending inbox item into the staging heap.
+func (s *engineShard) drain() {
+	for _, n := range s.nbrs {
+		box := s.in[n]
+		if box.pushed.Load() == box.drained.Load() {
+			continue
+		}
+		box.mu.Lock()
+		items := box.items
+		box.items = box.spare[:0]
+		box.mu.Unlock()
+		for _, ev := range items {
+			s.stagePush(ev)
+		}
+		box.spare = items[:0]
+		box.drained.Add(uint64(len(items)))
+	}
+}
+
+func (s *engineShard) stagePush(ev boundaryEvent) {
+	s.staging = append(s.staging, ev)
+	i := len(s.staging) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !stageLess(s.staging[i], s.staging[p]) {
+			break
+		}
+		s.staging[i], s.staging[p] = s.staging[p], s.staging[i]
+		i = p
+	}
+}
+
+func (s *engineShard) stagePop() boundaryEvent {
+	h := s.staging
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = boundaryEvent{} // release fn for GC
+	s.staging = h[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && stageLess(h[c+1], h[c]) {
+			c++
+		}
+		if !stageLess(h[c], h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	return top
+}
+
+// stageLess orders staged events by (time, source shard, source sequence):
+// a total, schedule-independent order for same-instant arrivals.
+func stageLess(a, b boundaryEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+const statusIdle = uint64(1)
+
+// setIdle and setActive maintain status = epoch<<1 | idleBit. The epoch
+// bump on wake-up is what makes the termination double-collect sound.
+func (s *engineShard) setIdle() {
+	st := s.status.Load()
+	if st&statusIdle == 0 {
+		s.status.Store(st | statusIdle)
+	}
+}
+
+func (s *engineShard) setActive() {
+	st := s.status.Load()
+	if st&statusIdle != 0 {
+		s.status.Store((st>>1 + 1) << 1) // bump epoch, clear idle
+	}
+}
+
+// tryTerminate performs the double-collect and, on success, stops the run.
+func (e *ShardEngine) tryTerminate(snap []uint64) bool {
+	for i, s := range e.shards {
+		st := s.status.Load()
+		if st&statusIdle == 0 {
+			return false
+		}
+		snap[i] = st
+	}
+	for _, s := range e.shards {
+		for _, n := range s.nbrs {
+			box := s.in[n]
+			if box.pushed.Load() != box.drained.Load() {
+				return false
+			}
+		}
+	}
+	for i, s := range e.shards {
+		if s.status.Load() != snap[i] {
+			return false
+		}
+	}
+	e.done.Store(true)
+	return true
+}
+
+// runShard is one shard's main loop.
+func (e *ShardEngine) runShard(s *engineShard) {
+	sched := s.sched
+	snap := make([]uint64, len(e.shards))
+	idlePasses := 0
+	for !e.done.Load() {
+		// Read neighbor clocks (acquire) before draining: every boundary
+		// event relevant below the resulting horizon is then visible.
+		h := e.horizon(s)
+		s.drain()
+
+		progressed := false
+		for {
+			st, sok := stagePeek(s.staging)
+			lt, lok := sched.PeekTime()
+			var t Time
+			var useStaged bool
+			switch {
+			case sok && lok:
+				// Staged-before-local on time ties: a boundary event's
+				// position in the source's sequence is fixed, while local
+				// seq numbers depend only on local history, so this rule is
+				// deterministic.
+				useStaged = st <= lt
+				t = lt
+				if useStaged {
+					t = st
+				}
+			case sok:
+				useStaged, t = true, st
+			case lok:
+				useStaged, t = false, lt
+			default:
+				goto blocked
+			}
+			if t >= h || t > e.deadline {
+				goto blocked
+			}
+			if !progressed {
+				s.setActive()
+				e.publish(s, t)
+				progressed = true
+			}
+			if useStaged {
+				ev := s.stagePop()
+				sched.AdvanceTo(ev.at)
+				ev.fn()
+			} else {
+				sched.Step()
+			}
+			if sched.Halted() {
+				// Halt is only meaningful for single-shard runs (the
+				// bit-identity path); a halted shard drains nothing more.
+				e.haltShard(s)
+				return
+			}
+		}
+
+	blocked:
+		// Publish the best promise available while blocked: the earliest
+		// thing this shard could ever execute next, capped by its own
+		// horizon (arrivals from neighbor i land at >= C_i + L >= horizon).
+		next := h
+		if st, ok := stagePeek(s.staging); ok && st < next {
+			next = st
+		}
+		if lt, ok := sched.PeekTime(); ok && lt < next {
+			next = lt
+		}
+		e.publish(s, next)
+
+		st, sok := stagePeek(s.staging)
+		lt, lok := sched.PeekTime()
+		if (!sok || st > e.deadline) && (!lok || lt > e.deadline) {
+			s.setIdle()
+			if e.tryTerminate(snap) {
+				return
+			}
+		}
+		if progressed {
+			idlePasses = 0
+		} else if idlePasses++; idlePasses <= blockedSpins {
+			runtime.Gosched()
+		} else {
+			time.Sleep(blockedNap)
+		}
+	}
+}
+
+func stagePeek(h []boundaryEvent) (Time, bool) {
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// haltShard marks a halted shard permanently idle and keeps its inboxes
+// drained (discarding arrivals) so the other shards can still terminate.
+func (e *ShardEngine) haltShard(s *engineShard) {
+	e.publish(s, maxTime-e.look)
+	idlePasses := 0
+	for !e.done.Load() {
+		for _, n := range s.nbrs {
+			box := s.in[n]
+			if box.pushed.Load() == box.drained.Load() {
+				continue
+			}
+			box.mu.Lock()
+			n := len(box.items)
+			box.items = box.items[:0]
+			box.mu.Unlock()
+			box.drained.Add(uint64(n))
+		}
+		s.setIdle()
+		snap := make([]uint64, len(e.shards))
+		if e.tryTerminate(snap) {
+			return
+		}
+		if idlePasses++; idlePasses <= blockedSpins {
+			runtime.Gosched()
+		} else {
+			time.Sleep(blockedNap)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim
+
+// Without the race detector a blocked shard's pass is ~100ns of plain atomic
+// loads; pure spinning wins and the nap path is effectively unreachable.
+const blockedSpins = 1 << 30

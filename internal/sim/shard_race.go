@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// Under the race detector each blocked pass costs microseconds of
+// instrumented atomics and the spinners serialize against the shard that can
+// actually progress; give up quickly and sleep instead.
+const blockedSpins = 64

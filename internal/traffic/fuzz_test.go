@@ -1,0 +1,70 @@
+package traffic
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzParseScenario drives the scenario JSON parser with arbitrary input.
+// Parse must never panic; when it accepts an input, the result must be
+// internally consistent: it re-validates cleanly, its durations are
+// non-negative, and its canonical re-marshaling parses to an equivalent
+// scenario (the parser and the schema agree on every field).
+//
+// Seeds come from the shipped example scenarios plus the checked-in corpus
+// under testdata/fuzz/FuzzParseScenario.
+func FuzzParseScenario(f *testing.F) {
+	examples, err := filepath.Glob(filepath.FromSlash("../../examples/scenarios/*.json"))
+	if err != nil || len(examples) == 0 {
+		f.Fatalf("example scenarios missing: %v (%d files)", err, len(examples))
+	}
+	for _, path := range examples {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"duration_s":1e308,"deadline_s":1e308}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted scenario fails re-validation: %v", err)
+		}
+		if s.Duration() < 0 || s.Deadline() < 0 {
+			t.Fatalf("accepted scenario has negative durations: %v / %v", s.Duration(), s.Deadline())
+		}
+		blob, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted scenario does not marshal: %v", err)
+		}
+		s2, err := Parse(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("canonical re-marshaling is rejected: %v\n%s", err, blob)
+		}
+		// Compare through canonical JSON so map ordering cannot matter.
+		blob2, err := json.Marshal(s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Fatalf("round-trip changed the scenario:\n%s\n%s", blob, blob2)
+		}
+		for _, name := range s.Schemes {
+			if strings.TrimSpace(name) == "" {
+				t.Fatal("accepted scenario with blank scheme name")
+			}
+		}
+	})
+}
