@@ -55,6 +55,7 @@ import (
 
 	"aggmac/internal/core"
 	"aggmac/internal/experiments"
+	"aggmac/internal/faults"
 	"aggmac/internal/mac"
 	"aggmac/internal/phy"
 	"aggmac/internal/runner"
@@ -146,6 +147,14 @@ func main() {
 		speed    = flag.Float64("speed", 1, "mesh mobility: node speed in spacing units per second")
 		pause    = flag.Duration("pause", time.Second, "mesh mobility: waypoint dwell time at each target")
 		moveIv   = flag.Duration("move-interval", time.Second, "mesh mobility: position/link/route update interval")
+
+		crashMTBF  = flag.Duration("crash-mtbf", 0, "mesh faults: mean node up time between crashes (0 = no crashes)")
+		crashMTTR  = flag.Duration("crash-mttr", 0, "mesh faults: mean node repair time (default 10s when crashes are on)")
+		flapRate   = flag.Float64("flap-rate", 0, "mesh faults: per-link flap rate in flaps per second (0 = no flapping)")
+		flapDown   = flag.Duration("flap-down", 0, "mesh faults: mean link down time per flap (default 2s)")
+		partitions = flag.String("partition", "", "mesh faults: comma list of start:dur:axis:at area partitions (e.g. 100s:30s:x:2.5)")
+		snrBurst   = flag.Duration("snr-burst", 0, "mesh faults: mean time between SNR-degradation bursts (0 = off)")
+		snrBurstDB = flag.Float64("snr-burst-db", 0, "mesh faults: per-endpoint SNR penalty in dB during a burst (default 10)")
 	)
 	flag.Parse()
 
@@ -172,11 +181,18 @@ func main() {
 	if *doTrace {
 		traceTo = os.Stderr
 	}
+	faultCfg, err := faultConfig(*crashMTBF, *crashMTTR, *flapRate, *flapDown, *partitions, *snrBurst, *snrBurstDB)
+	if err != nil {
+		fatal(err)
+	}
 
 	// Scenario-file mode: everything (topology, traffic, schemes) comes
 	// from the file; -seed (when given explicitly), -parallel, -json,
 	// -progress, -v and the trace flags still apply.
 	if *scenario != "" {
+		if faultCfg != nil {
+			fatal(fmt.Errorf("fault flags apply to -topo mesh runs only; scenario files declare faults in their own \"faults\" section"))
+		}
 		sc, err := wl.Load(*scenario)
 		if err != nil {
 			fatal(err)
@@ -222,6 +238,9 @@ func main() {
 		}
 		if *shards != 0 {
 			fatal(fmt.Errorf("-shards applies to static -topo TCP runs only"))
+		}
+		if faultCfg != nil {
+			fatal(fmt.Errorf("fault flags apply to -topo mesh runs only, not workload mode"))
 		}
 		model := *traffic
 		if model == "tcp" {
@@ -285,6 +304,8 @@ func main() {
 				fatal(fmt.Errorf("-shards requires the neighbor-indexed medium (drop -dense-scan)"))
 			case traceTo != nil:
 				fatal(fmt.Errorf("-shards cannot stream the channel timeline (drop -trace)"))
+			case faultCfg != nil:
+				fatal(fmt.Errorf("-shards cannot run with fault injection (drop the fault flags)"))
 			}
 		}
 		runMesh(meshArgs{
@@ -292,13 +313,17 @@ func main() {
 			nodes: *nodes, flows: *flows, chains: *chains, chainHops: *chainHops,
 			crossFlows: *crossFl, minHops: *minHops, dense: *dense, shards: *shards,
 			mobility: *mobility, speed: *speed, pause: *pause, moveIv: *moveIv,
-			file: *file, agg: *agg, seed: *seed, verbose: *verbose,
+			faults: faultCfg,
+			file:   *file, agg: *agg, seed: *seed, verbose: *verbose,
 			jsonOut: *jsonOut, traceTo: traceTo, traceNodes: traceNodes,
 		})
 		return
 	}
 	if *shards != 0 {
 		fatal(fmt.Errorf("-shards applies to static -topo TCP runs only"))
+	}
+	if faultCfg != nil {
+		fatal(fmt.Errorf("fault flags apply to -topo mesh runs only"))
 	}
 
 	if len(schemes)*len(rates)*len(hops) > 1 || *reps > 1 {
@@ -495,12 +520,62 @@ type meshArgs struct {
 	mobility          string
 	speed             float64
 	pause, moveIv     time.Duration
+	faults            *faults.Config
 	file, agg         int
 	seed              int64
 	verbose           bool
 	jsonOut           bool
 	traceTo           io.Writer
 	traceNodes        []int
+}
+
+// faultConfig assembles the fault-injection config from the CLI flags; it
+// returns nil when no fault flag was set.
+func faultConfig(crashMTBF, crashMTTR time.Duration, flapRate float64, flapDown time.Duration,
+	partitions string, snrBurst time.Duration, snrBurstDB float64) (*faults.Config, error) {
+	// Negative values would read as "disabled" through Config.Enabled;
+	// reject them loudly instead of silently running fault-free.
+	if crashMTBF < 0 || crashMTTR < 0 || flapRate < 0 || flapDown < 0 || snrBurst < 0 || snrBurstDB < 0 {
+		return nil, fmt.Errorf("fault flags must not be negative")
+	}
+	cfg := &faults.Config{
+		CrashMTBF: crashMTBF, CrashMTTR: crashMTTR,
+		FlapMTTR:     flapDown,
+		SNRBurstMTBF: snrBurst, SNRBurstDB: snrBurstDB,
+	}
+	if flapRate > 0 {
+		cfg.FlapMTBF = time.Duration(float64(time.Second) / flapRate)
+	}
+	if partitions != "" {
+		for _, spec := range strings.Split(partitions, ",") {
+			parts := strings.Split(strings.TrimSpace(spec), ":")
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("bad -partition %q (want start:dur:axis:at, e.g. 100s:30s:x:2.5)", spec)
+			}
+			start, err := time.ParseDuration(parts[0])
+			if err != nil {
+				return nil, fmt.Errorf("bad -partition start %q: %v", parts[0], err)
+			}
+			dur, err := time.ParseDuration(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("bad -partition duration %q: %v", parts[1], err)
+			}
+			at, err := strconv.ParseFloat(parts[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -partition coordinate %q: %v", parts[3], err)
+			}
+			cfg.Partitions = append(cfg.Partitions, faults.Partition{
+				Start: start, Duration: dur, Axis: parts[2], At: at,
+			})
+		}
+	}
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
 }
 
 func runMesh(a meshArgs) {
@@ -510,6 +585,7 @@ func runMesh(a meshArgs) {
 		Chains: a.chains, ChainHops: a.chainHops, CrossFlows: a.crossFlows,
 		MinHops: a.minHops, DenseScan: a.dense, Shards: a.shards,
 		Mobility: a.mobility, Speed: a.speed, Pause: a.pause, MoveInterval: a.moveIv,
+		Faults:    a.faults,
 		FileBytes: a.file, MaxAggBytes: a.agg, Seed: a.seed,
 		TraceTo: a.traceTo, TraceNodes: a.traceNodes,
 	})
@@ -526,6 +602,15 @@ func runMesh(a meshArgs) {
 		fmt.Printf("mobility=%s speed=%g interval=%v: %d link ups, %d link downs, %d route flaps over %d recomputes\n",
 			a.mobility, a.speed, a.moveIv,
 			res.LinkUps, res.LinkDowns, res.RouteFlaps, res.RouteRecomputes)
+	}
+	if a.faults != nil {
+		fmt.Printf("faults: %d crashes (%d recovered), %d flap downs (%d restored), %d/%d partitions healed, %d SNR bursts\n",
+			res.NodeCrashes, res.NodeRecoveries, res.FaultLinkDowns, res.FaultLinkUps,
+			res.PartitionsHealed, res.PartitionsStarted, res.SNRBursts)
+		fmt.Printf("degradation: availability %.4f, %d flows killed, max stall %v, mean stall %v, heal latency %v\n",
+			res.Availability, res.FlowsKilledByFault,
+			res.MaxFlowStall.Round(time.Millisecond), res.MeanFlowStall.Round(time.Millisecond),
+			res.MeanHealLatency.Round(time.Millisecond))
 	}
 	for i, f := range res.Flows {
 		fmt.Printf("flow %d: %d->%d (%d hops) %.3f Mbps (done=%v)\n",

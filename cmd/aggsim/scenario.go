@@ -212,6 +212,13 @@ func printScenarioResult(r core.ScenarioResult, verbose bool) {
 		fmt.Printf("  churn: %d link ups, %d link downs, %d route flaps over %d recomputes\n",
 			r.LinkUps, r.LinkDowns, r.RouteFlaps, r.RouteRecomputes)
 	}
+	if r.Availability < 1 || r.NodeCrashes+r.FaultLinkDowns+r.PartitionsStarted+r.SNRBursts > 0 {
+		fmt.Printf("  faults: %d crashes (%d recovered), %d flap downs (%d restored), %d/%d partitions healed, %d SNR bursts\n",
+			r.NodeCrashes, r.NodeRecoveries, r.FaultLinkDowns, r.FaultLinkUps,
+			r.PartitionsHealed, r.PartitionsStarted, r.SNRBursts)
+		fmt.Printf("  degradation: availability %.4f, %d flows killed, heal latency %s\n",
+			r.Availability, r.FlowsKilledByFault, fmtDur(r.MeanHealLatency))
+	}
 	fmt.Printf("  elapsed %s, %d events\n", fmtDur(r.Elapsed), r.EventsRun)
 	if verbose {
 		printNodes(r.Nodes)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"aggmac/internal/core"
+	"aggmac/internal/faults"
 	"aggmac/internal/mac"
 	"aggmac/internal/phy"
 	"aggmac/internal/traffic"
@@ -166,6 +167,53 @@ func mobilityGolden(kind string, scheme mac.Scheme, speed float64) (string, uint
 	return fmt.Sprintf("%x", sha256.Sum256([]byte(w.String()))), res.EventsRun
 }
 
+// faultGolden pins the fault-injection pipeline: a seeded faulty mesh run —
+// crash/recover hooks, flap and partition link cuts through the overlay,
+// killed-flow classification, stall and availability accounting — hashed
+// like meshGolden plus every fault counter and degradation metric.
+func faultGolden(kind string, scheme mac.Scheme) (string, uint64) {
+	cfg := core.MeshTCPConfig{
+		Scheme: scheme, Rate: phy.Rate2600k,
+		Topology: core.MeshGrid, Nodes: 16, Flows: 3,
+		FileBytes: 15_000, Seed: 1,
+		Deadline: 300 * time.Second,
+	}
+	switch kind {
+	case "crash":
+		cfg.Faults = &faults.Config{CrashMTBF: 20 * time.Second, CrashMTTR: 5 * time.Second}
+	case "flap":
+		cfg.Faults = &faults.Config{FlapMTBF: 10 * time.Second, FlapMTTR: 2 * time.Second}
+	case "partition":
+		cfg.Faults = &faults.Config{Partitions: []faults.Partition{
+			{Start: 2 * time.Second, Duration: 10 * time.Second, Axis: faults.AxisX, At: 1.5},
+		}}
+	default:
+		panic("unknown fault golden kind " + kind)
+	}
+	res := core.RunMeshTCP(cfg)
+	var w strings.Builder
+	fmt.Fprintf(&w, "faults kind=%s scheme=%s nodes=%d links=%d completed=%v elapsed=%d events=%d\n",
+		kind, scheme.Name(), res.NodeCount, res.LinkCount,
+		res.Completed, int64(res.Elapsed), res.EventsRun)
+	fmt.Fprintf(&w, "churn ups=%d downs=%d flaps=%d recomputes=%d\n",
+		res.LinkUps, res.LinkDowns, res.RouteFlaps, res.RouteRecomputes)
+	fmt.Fprintf(&w, "faults crashes=%d recoveries=%d flapdowns=%d flapups=%d parts=%d/%d bursts=%d\n",
+		res.NodeCrashes, res.NodeRecoveries, res.FaultLinkDowns, res.FaultLinkUps,
+		res.PartitionsStarted, res.PartitionsHealed, res.SNRBursts)
+	fmt.Fprintf(&w, "degradation killed=%d avail=%s heal=%d maxstall=%d meanstall=%d\n",
+		res.FlowsKilledByFault, hexFloat(res.Availability), int64(res.MeanHealLatency),
+		int64(res.MaxFlowStall), int64(res.MeanFlowStall))
+	fmt.Fprintf(&w, "agg=%s min=%s mean=%s done=%d\n",
+		hexFloat(res.AggregateMbps), hexFloat(res.MinMbps), hexFloat(res.MeanMbps), res.FlowsDone)
+	for _, f := range res.Flows {
+		fmt.Fprintf(&w, "flow %d->%d hops=%d done=%v killed=%v finish=%d stall=%d mbps=%s\n",
+			int(f.Server), int(f.Client), f.Hops, f.Done, f.Killed,
+			int64(f.Finish), int64(f.Stall), hexFloat(f.Mbps))
+	}
+	hashNodes(&w, res.Nodes)
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(w.String()))), res.EventsRun
+}
+
 // scenarioGolden pins the workload engine: a seeded scenario run — flow
 // arrivals, per-flow traffic sources, FCT accounting — hashed over every
 // per-flow outcome (endpoints, model, arrival time, delivered bytes, FCT
@@ -256,6 +304,20 @@ func runGoldens() map[string]goldenEntry {
 	} {
 		h, ev := mobilityGolden(mc.kind, mc.scheme, mc.speed)
 		got[fmt.Sprintf("mobility-%s/%s", mc.kind, mc.scheme.Name())] = goldenEntry{Hash: h, EventsRun: ev}
+	}
+	for _, fg := range []struct {
+		kind   string
+		scheme mac.Scheme
+	}{
+		{"crash", mac.NA},
+		{"crash", mac.BA},
+		{"flap", mac.UA},
+		{"flap", mac.BA},
+		{"partition", mac.NA},
+		{"partition", mac.UA},
+	} {
+		h, ev := faultGolden(fg.kind, fg.scheme)
+		got[fmt.Sprintf("faults-%s/%s", fg.kind, fg.scheme.Name())] = goldenEntry{Hash: h, EventsRun: ev}
 	}
 	for _, sg := range []struct {
 		mode   string

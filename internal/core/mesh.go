@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"time"
 
+	"aggmac/internal/faults"
 	"aggmac/internal/mac"
 	"aggmac/internal/network"
 	"aggmac/internal/phy"
@@ -98,8 +99,20 @@ type MeshTCPConfig struct {
 	Speed float64
 	// Pause is the waypoint model's dwell time at each target.
 	Pause time.Duration
-	// MoveInterval is the mobility tick interval (default 1 s).
+	// MoveInterval is the mobility tick interval (default 1 s). Faults
+	// share it: one dynamics tick steps motion and failures together.
 	MoveInterval time.Duration
+	// Faults injects seeded failures (node crashes, link flaps, scheduled
+	// partitions, SNR bursts; see internal/faults). nil injects nothing. A
+	// crashed node's MAC is detached and reset, its TCP connections are
+	// aborted in place, and flows terminating at it are marked killed;
+	// links cut by faults reconcile through the same incremental paths
+	// mobility uses. Sequential engine only: rejected with Shards > 0.
+	Faults *faults.Config
+	// WallBudget bounds the run's real elapsed time; past it the scheduler
+	// panics with *sim.WallBudgetError (the runner converts that into a
+	// per-run error). 0 means no watchdog.
+	WallBudget time.Duration
 	// Tweak adjusts every node's final MAC options.
 	Tweak func(*mac.Options)
 	// TraceTo streams the channel timeline to the writer; TraceNodes
@@ -124,6 +137,11 @@ type MeshFlowReport struct {
 	Done bool
 	// Finish is when the last payload byte arrived.
 	Finish time.Duration
+	// Killed marks a flow terminated by a fault at one of its endpoints.
+	Killed bool
+	// Stall is the flow's longest gap between payload progress events
+	// (unfinished flows include the tail gap to the end of the run).
+	Stall time.Duration
 }
 
 // MeshResult is what a mesh experiment measures.
@@ -157,6 +175,26 @@ type MeshResult struct {
 	LinkUps, LinkDowns int
 	RouteFlaps         int
 	RouteRecomputes    int
+	// Fault-injection outcome (all zero, with Availability 1, when Faults
+	// is unset). NodeCrashes/NodeRecoveries count observed node state
+	// changes; FaultLinkDowns/FaultLinkUps count link-flap edges;
+	// PartitionsStarted/PartitionsHealed count partition windows opening
+	// and closing; SNRBursts counts degradation bursts that began.
+	NodeCrashes, NodeRecoveries         int
+	FaultLinkDowns, FaultLinkUps        int
+	PartitionsStarted, PartitionsHealed int
+	SNRBursts                           int
+	// FlowsKilledByFault counts flows whose endpoint crashed mid-transfer.
+	FlowsKilledByFault int
+	// Availability is the time-averaged fraction of nodes that were up.
+	Availability float64
+	// MeanHealLatency averages, over healed partitions, the delay between
+	// the scheduled window end and the dynamics tick that restored links —
+	// the reconnection latency the periodic reconcile imposes.
+	MeanHealLatency time.Duration
+	// MaxFlowStall/MeanFlowStall summarize per-flow Stall values — how
+	// long traffic froze while routes repaired around failures.
+	MaxFlowStall, MeanFlowStall time.Duration
 	// Nodes holds per-node counters (role is "server"/"client"/"relay" by
 	// the node's part in the traffic, else "idle").
 	Nodes []NodeReport
@@ -239,7 +277,11 @@ type meshFlow struct {
 	hops           int
 	port           uint16
 	done           bool
+	killed         bool
 	finish         sim.Time
+	started        bool
+	lastProgress   sim.Time
+	maxStall       time.Duration
 }
 
 // planFlows picks the experiment's sessions deterministically from the
@@ -304,27 +346,52 @@ func (c *MeshTCPConfig) planFlows(m *topology.Mesh) []*meshFlow {
 	return flows
 }
 
-// mobilityChurn accumulates the topology-motion counters of a run.
+// mobilityChurn accumulates the topology-dynamics counters of a run:
+// mobility link churn plus fault-injection observations.
 type mobilityChurn struct {
 	LinkUps, LinkDowns int
 	RouteFlaps         int
 	Recomputes         int
+
+	Crashes, Recoveries          int
+	FaultLinkDowns, FaultLinkUps int
+	PartStarts, PartHeals        int
+	Bursts                       int
+	HealLatency                  time.Duration
+	set                          *faults.Set // nil when faults are off
 }
 
-// startMobility wires the mobility tick shared by RunMeshTCP and
+// dynamicsHooks let the run layer react to observed node state changes
+// before the tick's link reconcile runs.
+type dynamicsHooks struct {
+	onCrash, onRecover func(node int)
+}
+
+// startDynamics wires the topology-dynamics tick shared by RunMeshTCP and
 // RunScenario: a periodic event on the mesh's scheduler advances node
-// positions, reconciles link state through the medium's incremental
-// SetConnected/SetSNR paths, and recomputes shortest-path routes with flap
-// accounting. An empty model schedules nothing, so a static run's event
-// sequence — and golden hash — is untouched.
-func startMobility(m *topology.Mesh, model string, speed float64, pause, interval time.Duration, seed int64) *mobilityChurn {
+// positions and fault processes together, reconciles link state through
+// the medium's incremental SetConnected/SetSNR paths, and recomputes
+// shortest-path routes with flap accounting. With neither mobility nor
+// faults configured it schedules nothing, so a static run's event
+// sequence — and golden hash — is untouched; fault processes draw only
+// from their private streams, so enabling them perturbs no other draw.
+func startDynamics(m *topology.Mesh, model string, speed float64, pause, interval time.Duration,
+	fcfg *faults.Config, seed int64, hooks dynamicsHooks) *mobilityChurn {
 	churn := &mobilityChurn{}
-	if model == "" {
-		return churn
+	var mob topology.Model
+	if model != "" {
+		var err error
+		mob, err = topology.NewMobility(model, m, speed, pause, seed)
+		if err != nil {
+			panic(err.Error())
+		}
 	}
-	mob, err := topology.NewMobility(model, m, speed, pause, seed)
-	if err != nil {
-		panic(err.Error())
+	if fcfg.Enabled() {
+		churn.set = faults.New(*fcfg.Clone(), m, seed)
+		m.SetOverlay(churn.set)
+	}
+	if mob == nil && churn.set == nil {
+		return churn
 	}
 	iv := interval
 	if iv <= 0 {
@@ -332,7 +399,35 @@ func startMobility(m *topology.Mesh, model string, speed float64, pause, interva
 	}
 	var tick func()
 	tick = func() {
-		delta := m.UpdateLinks(mob.Step(m.Sched.Now()))
+		now := m.Sched.Now()
+		pos := m.Pos
+		if mob != nil {
+			pos = mob.Step(now)
+		}
+		if churn.set != nil {
+			fd := churn.set.Step(now)
+			churn.Crashes += len(fd.Crashed)
+			churn.Recoveries += len(fd.Recovered)
+			churn.FaultLinkDowns += fd.FlapsDown
+			churn.FaultLinkUps += fd.FlapsUp
+			churn.PartStarts += fd.PartitionsStarted
+			churn.PartHeals += fd.PartitionsHealed
+			churn.HealLatency += fd.HealLatency
+			churn.Bursts += fd.BurstsStarted
+			// Hooks run before the reconcile: a crashed node's MAC and
+			// transport die in the same tick its links are cut.
+			for _, i := range fd.Crashed {
+				if hooks.onCrash != nil {
+					hooks.onCrash(i)
+				}
+			}
+			for _, i := range fd.Recovered {
+				if hooks.onRecover != nil {
+					hooks.onRecover(i)
+				}
+			}
+		}
+		delta := m.UpdateLinks(pos)
 		churn.LinkUps += delta.Up
 		churn.LinkDowns += delta.Down
 		// Hop-count routes only depend on link existence, and a
@@ -378,14 +473,28 @@ func RunMeshTCP(cfg MeshTCPConfig) MeshResult {
 		stacks[i] = tcp.NewStack(m.Sched, node, tcfg)
 	}
 
-	churn := startMobility(m, cfg.Mobility, cfg.Speed, cfg.Pause, cfg.MoveInterval, cfg.Seed)
-
-	wireFlows(&cfg, flows, stacks,
+	killFlow := wireFlows(&cfg, flows, stacks,
 		func(network.NodeID) *sim.Scheduler { return m.Sched }, m.Sched.Halt)
 
+	churn := startDynamics(m, cfg.Mobility, cfg.Speed, cfg.Pause, cfg.MoveInterval,
+		cfg.Faults, cfg.Seed, dynamicsHooks{
+			onCrash: func(node int) {
+				mc := m.Nodes[node].MAC()
+				mc.SetDown(true)
+				mc.Reset()
+				stacks[node].Abort()
+				killFlow(network.NodeID(node))
+			},
+			onRecover: func(node int) { m.Nodes[node].MAC().SetDown(false) },
+		})
+
+	if cfg.WallBudget > 0 {
+		m.Sched.SetWallBudget(cfg.WallBudget)
+	}
 	m.Sched.RunUntil(cfg.Deadline)
 
-	return assembleMeshResult(&cfg, flows, m.Nodes, m.LinkCount, m.AvgDegree(), churn, m.Sched.EventsRun())
+	return assembleMeshResult(&cfg, flows, m.Nodes, m.LinkCount, m.AvgDegree(), churn,
+		m.Sched.EventsRun(), m.Sched.Now())
 }
 
 // wireFlows installs every planned flow: a listener plus completion
@@ -393,10 +502,21 @@ func RunMeshTCP(cfg MeshTCPConfig) MeshResult {
 // the server's. onAllDone (when non-nil) fires as the last flow completes;
 // parallel runs with more than one shard pass nil — flow completions land
 // on different goroutines there, and the run drains to the deadline
-// deterministically instead of halting early.
+// deterministically instead of halting early. The returned func marks
+// every live flow terminating at the given node as fault-killed (the
+// crash hook calls it); killed flows count toward onAllDone so a run
+// whose remaining flows all die still halts early.
 func wireFlows(cfg *MeshTCPConfig, flows []*meshFlow, stacks []*tcp.Stack,
-	schedFor func(network.NodeID) *sim.Scheduler, onAllDone func()) {
+	schedFor func(network.NodeID) *sim.Scheduler, onAllDone func()) func(network.NodeID) {
 	remaining := len(flows)
+	settle := func(f *meshFlow) {
+		if onAllDone != nil {
+			remaining--
+			if remaining == 0 {
+				onAllDone()
+			}
+		}
+	}
 	for i, f := range flows {
 		i, f := i, f
 		cli := schedFor(f.client)
@@ -405,21 +525,23 @@ func wireFlows(cfg *MeshTCPConfig, flows []*meshFlow, stacks []*tcp.Stack,
 		lis.Setup = func(conn *tcp.Conn) {
 			conn.OnData = func(b []byte) {
 				got += int64(len(b))
-				if !f.done && got >= int64(cfg.FileBytes) {
+				now := cli.Now()
+				if gap := now - f.lastProgress; gap > f.maxStall {
+					f.maxStall = gap
+				}
+				f.lastProgress = now
+				if !f.done && !f.killed && got >= int64(cfg.FileBytes) {
 					f.done = true
-					f.finish = cli.Now()
-					if onAllDone != nil {
-						remaining--
-						if remaining == 0 {
-							onAllDone()
-						}
-					}
+					f.finish = now
+					settle(f)
 				}
 			}
 			conn.OnPeerClose = func() { conn.Close() }
 		}
 		start := time.Duration(i) * 150 * time.Microsecond
 		schedFor(f.server).After(start, "mesh:connect", func() {
+			f.started = true
+			f.lastProgress = schedFor(f.server).Now()
 			conn := stacks[f.server].Connect(f.client, f.port)
 			data := make([]byte, cfg.FileBytes)
 			conn.OnEstablished = func() {
@@ -428,26 +550,68 @@ func wireFlows(cfg *MeshTCPConfig, flows []*meshFlow, stacks []*tcp.Stack,
 			}
 		})
 	}
+	return func(node network.NodeID) {
+		for _, f := range flows {
+			if f.done || f.killed || (f.server != node && f.client != node) {
+				continue
+			}
+			f.killed = true
+			settle(f)
+		}
+	}
 }
 
 // assembleMeshResult turns the finished run's state into a MeshResult;
-// shared by the sequential and sharded paths.
+// shared by the sequential and sharded paths. end is the run's final
+// simulated time, used for availability and tail-stall accounting.
 func assembleMeshResult(cfg *MeshTCPConfig, flows []*meshFlow, nodes []*network.Node,
-	linkCount int, avgDegree float64, churn *mobilityChurn, eventsRun uint64) MeshResult {
+	linkCount int, avgDegree float64, churn *mobilityChurn, eventsRun uint64, end sim.Time) MeshResult {
 	res := MeshResult{
-		Completed:       true,
-		EventsRun:       eventsRun,
-		NodeCount:       len(nodes),
-		LinkCount:       linkCount,
-		AvgDegree:       avgDegree,
-		LinkUps:         churn.LinkUps,
-		LinkDowns:       churn.LinkDowns,
-		RouteFlaps:      churn.RouteFlaps,
-		RouteRecomputes: churn.Recomputes,
+		Completed:         true,
+		EventsRun:         eventsRun,
+		NodeCount:         len(nodes),
+		LinkCount:         linkCount,
+		AvgDegree:         avgDegree,
+		LinkUps:           churn.LinkUps,
+		LinkDowns:         churn.LinkDowns,
+		RouteFlaps:        churn.RouteFlaps,
+		RouteRecomputes:   churn.Recomputes,
+		NodeCrashes:       churn.Crashes,
+		NodeRecoveries:    churn.Recoveries,
+		FaultLinkDowns:    churn.FaultLinkDowns,
+		FaultLinkUps:      churn.FaultLinkUps,
+		PartitionsStarted: churn.PartStarts,
+		PartitionsHealed:  churn.PartHeals,
+		SNRBursts:         churn.Bursts,
+		Availability:      1,
+	}
+	if churn.set != nil {
+		res.Availability = churn.set.Availability(end)
+	}
+	if churn.PartHeals > 0 {
+		res.MeanHealLatency = churn.HealLatency / time.Duration(churn.PartHeals)
 	}
 	res.MinMbps = math.Inf(1)
 	for _, f := range flows {
-		rep := MeshFlowReport{Server: f.server, Client: f.client, Hops: f.hops, Done: f.done}
+		rep := MeshFlowReport{Server: f.server, Client: f.client, Hops: f.hops,
+			Done: f.done, Killed: f.killed}
+		if f.started && !f.done && !f.killed {
+			// The tail gap — last progress to the end of the run — is a
+			// stall too: a flow frozen by an unhealed failure shows up
+			// here, not as a mid-run gap. (A killed flow stops accruing
+			// stall at its endpoint's crash.)
+			if gap := end - f.lastProgress; gap > f.maxStall {
+				f.maxStall = gap
+			}
+		}
+		rep.Stall = f.maxStall
+		if rep.Stall > res.MaxFlowStall {
+			res.MaxFlowStall = rep.Stall
+		}
+		res.MeanFlowStall += rep.Stall
+		if f.killed {
+			res.FlowsKilledByFault++
+		}
 		if f.done {
 			rep.Finish = time.Duration(f.finish)
 			rep.Mbps = float64(cfg.FileBytes) * 8 / rep.Finish.Seconds() / 1e6
@@ -463,6 +627,9 @@ func assembleMeshResult(cfg *MeshTCPConfig, flows []*meshFlow, nodes []*network.
 			res.MinMbps = rep.Mbps
 		}
 		res.Flows = append(res.Flows, rep)
+	}
+	if len(flows) > 0 {
+		res.MeanFlowStall /= time.Duration(len(flows))
 	}
 	if len(flows) > 0 {
 		res.MeanMbps = res.AggregateMbps / float64(len(flows))

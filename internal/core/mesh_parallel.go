@@ -97,6 +97,8 @@ func runMeshTCPSharded(cfg MeshTCPConfig, tcfg tcp.Config) MeshResult {
 	switch {
 	case cfg.Mobility != "":
 		panic("core: Shards supports static topologies only — unset Mobility")
+	case cfg.Faults.Enabled():
+		panic("core: fault injection needs the sequential engine — unset Faults or Shards")
 	case cfg.DenseScan:
 		panic("core: Shards requires the neighbor-indexed medium — unset DenseScan")
 	case cfg.TraceTo != nil:
@@ -199,13 +201,19 @@ func runMeshTCPSharded(cfg MeshTCPConfig, tcfg tcp.Config) MeshResult {
 	wireFlows(&cfg, flows, stacks,
 		func(id network.NodeID) *sim.Scheduler { return scheds[owner[id]] }, onAllDone)
 
+	if cfg.WallBudget > 0 {
+		for _, s := range scheds {
+			s.SetWallBudget(cfg.WallBudget)
+		}
+	}
 	eng.Run(cfg.Deadline)
 
 	var eventsRun uint64
 	for _, s := range scheds {
 		eventsRun += s.EventsRun()
 	}
-	res := assembleMeshResult(&cfg, flows, nodes, m0.LinkCount, m0.AvgDegree(), &mobilityChurn{}, eventsRun)
+	res := assembleMeshResult(&cfg, flows, nodes, m0.LinkCount, m0.AvgDegree(), &mobilityChurn{},
+		eventsRun, cfg.Deadline)
 	res.Shards = k
 	return res
 }

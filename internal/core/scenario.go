@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"time"
 
+	"aggmac/internal/faults"
 	"aggmac/internal/mac"
 	"aggmac/internal/network"
 	"aggmac/internal/phy"
@@ -45,6 +46,9 @@ type ScenarioConfig struct {
 	TCP tcp.Config
 	// Phy overrides the channel constants; nil means calibrated defaults.
 	Phy *phy.Params
+	// WallBudget bounds the run's real elapsed time (see
+	// MeshTCPConfig.WallBudget). 0 means no watchdog.
+	WallBudget time.Duration
 }
 
 // ScenarioFlowReport is one flow's outcome.
@@ -59,6 +63,8 @@ type ScenarioFlowReport struct {
 	// Bytes is the payload delivered to the receiver.
 	Bytes int64
 	Done  bool
+	// Killed marks a flow terminated by a fault at one of its endpoints.
+	Killed bool
 	// FCT is the flow completion time (last payload byte minus arrival).
 	FCT time.Duration
 }
@@ -111,6 +117,16 @@ type ScenarioResult struct {
 	LinkUps, LinkDowns   int
 	RouteFlaps           int
 	RouteRecomputes      int
+	// Fault-injection outcome, as in MeshResult (all zero, Availability 1,
+	// without a faults section). FlowsKilledByFault counts flows whose
+	// endpoint crashed mid-transfer; they are excluded from FlowsAbandoned.
+	NodeCrashes, NodeRecoveries         int
+	FaultLinkDowns, FaultLinkUps        int
+	PartitionsStarted, PartitionsHealed int
+	SNRBursts                           int
+	FlowsKilledByFault                  int
+	Availability                        float64
+	MeanHealLatency                     time.Duration
 	// Nodes holds per-node counters (roles by traffic part, as in mesh).
 	Nodes []NodeReport
 }
@@ -124,6 +140,7 @@ type scenarioFlow struct {
 	lastData       sim.Time
 	got            int64
 	done           bool
+	killed         bool   // terminated by an endpoint crash
 	onComplete     func() // closed-loop: resume the owning user
 }
 
@@ -139,8 +156,10 @@ type scenarioEngine struct {
 	active       int
 	peakActive   int
 	skipped      int
-	arrivalsOpen bool // open loop: more arrivals may come
-	liveUsers    int  // closed loop: users still cycling
+	killedCount  int
+	faults       *faults.Set // nil without a faults section
+	arrivalsOpen bool        // open loop: more arrivals may come
+	liveUsers    int         // closed loop: users still cycling
 
 	fct        traffic.FCT
 	fctByModel []traffic.FCT
@@ -198,15 +217,9 @@ func RunScenario(cfg ScenarioConfig) ScenarioResult {
 		m.Medium.SetObserver(obs)
 	}
 
-	var churn *mobilityChurn
-	if mob := sc.Mobility; mob != nil {
-		churn = startMobility(m, mob.Model, mob.Speed,
-			time.Duration(mob.PauseS*float64(time.Second)),
-			time.Duration(mob.MoveIntervalS*float64(time.Second)), seed)
-	} else {
-		churn = startMobility(m, "", 0, 0, 0, seed)
-	}
-
+	// Engine and stacks first (NewStack schedules nothing and draws no
+	// randomness, so this ordering leaves the event sequence untouched);
+	// the dynamics hooks below need them to react to crashes.
 	e := &scenarioEngine{
 		sc: sc, seed: seed, m: m, mix: mix,
 		stacks:     make([]*tcp.Stack, len(m.Nodes)),
@@ -216,6 +229,27 @@ func RunScenario(cfg ScenarioConfig) ScenarioResult {
 		e.stacks[i] = tcp.NewStack(m.Sched, node, tcfg)
 	}
 
+	var model string
+	var speed float64
+	var pause, interval time.Duration
+	if mob := sc.Mobility; mob != nil {
+		model, speed = mob.Model, mob.Speed
+		pause = time.Duration(mob.PauseS * float64(time.Second))
+		interval = time.Duration(mob.MoveIntervalS * float64(time.Second))
+	}
+	churn := startDynamics(m, model, speed, pause, interval,
+		scenarioFaultConfig(sc.Faults), seed, dynamicsHooks{
+			onCrash: func(node int) {
+				mc := m.Nodes[node].MAC()
+				mc.SetDown(true)
+				mc.Reset()
+				e.stacks[node].Abort()
+				e.killFlowsAt(network.NodeID(node))
+			},
+			onRecover: func(node int) { m.Nodes[node].MAC().SetDown(false) },
+		})
+	e.faults = churn.set
+
 	switch sc.Traffic.Mode {
 	case traffic.ModeOpen:
 		e.startOpenLoop()
@@ -223,6 +257,9 @@ func RunScenario(cfg ScenarioConfig) ScenarioResult {
 		e.startClosedLoop()
 	}
 
+	if cfg.WallBudget > 0 {
+		m.Sched.SetWallBudget(cfg.WallBudget)
+	}
 	// An open-loop run whose first arrival already falls past the window
 	// halts synchronously above; RunUntil resets the scheduler's halt
 	// flag on entry, so it must not run at all in that case.
@@ -231,6 +268,51 @@ func RunScenario(cfg ScenarioConfig) ScenarioResult {
 	}
 
 	return e.assemble(cfg, churn)
+}
+
+// scenarioFaultConfig maps the scenario schema's faults section onto the
+// fault engine's config. nil in, nil out.
+func scenarioFaultConfig(sf *traffic.Faults) *faults.Config {
+	if sf == nil {
+		return nil
+	}
+	sec := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	c := &faults.Config{
+		CrashMTBF:    sec(sf.CrashMTBFS),
+		CrashMTTR:    sec(sf.CrashMTTRS),
+		FlapMTBF:     sec(sf.FlapMTBFS),
+		FlapMTTR:     sec(sf.FlapMTTRS),
+		SNRBurstMTBF: sec(sf.SNRBurstMTBFS),
+		SNRBurstMTTR: sec(sf.SNRBurstMTTRS),
+		SNRBurstDB:   sf.SNRBurstDB,
+	}
+	for _, p := range sf.Partitions {
+		c.Partitions = append(c.Partitions, faults.Partition{
+			Start:    sec(p.StartS),
+			Duration: sec(p.DurationS),
+			Axis:     p.Axis,
+			At:       p.At,
+		})
+	}
+	return c
+}
+
+// killFlowsAt marks every live flow terminating at the crashed node as
+// fault-killed. A closed-loop user whose flow dies resumes its think cycle
+// (the user did not crash, its request did).
+func (e *scenarioEngine) killFlowsAt(node network.NodeID) {
+	for _, f := range e.flows {
+		if f.done || f.killed || (f.server != node && f.client != node) {
+			continue
+		}
+		f.killed = true
+		e.active--
+		e.killedCount++
+		if f.onComplete != nil {
+			f.onComplete()
+		}
+		e.maybeHalt()
+	}
 }
 
 // maybeHalt stops the scheduler once no flow can arrive or progress.
@@ -322,6 +404,9 @@ func (e *scenarioEngine) sampleEndpoints(rng *rand.Rand) (srv, cli int, ok bool)
 		if srv == cli {
 			continue
 		}
+		if e.faults != nil && (e.faults.NodeDown(srv) || e.faults.NodeDown(cli)) {
+			continue
+		}
 		if d := e.m.HopDistance(srv, cli); d < e.sc.Traffic.MinHops {
 			continue
 		}
@@ -391,9 +476,11 @@ func (e *scenarioEngine) pump(conn *tcp.Conn, src traffic.Source) {
 	e.m.Sched.After(wait, "scn:send", send)
 }
 
-// complete records one flow's completion.
+// complete records one flow's completion. Killed flows never complete:
+// their active slot was already released by killFlowsAt, and a late
+// peer-close from the surviving endpoint must not double-count.
 func (e *scenarioEngine) complete(f *scenarioFlow) {
-	if f.done {
+	if f.done || f.killed {
 		return
 	}
 	f.done = true
@@ -439,7 +526,22 @@ func (e *scenarioEngine) assemble(cfg ScenarioConfig, churn *mobilityChurn) Scen
 		// halted early; report the drain time instead.
 		res.Elapsed = time.Duration(e.haltAt)
 	}
-	res.FlowsAbandoned = res.FlowsStarted - res.FlowsCompleted
+	res.NodeCrashes = churn.Crashes
+	res.NodeRecoveries = churn.Recoveries
+	res.FaultLinkDowns = churn.FaultLinkDowns
+	res.FaultLinkUps = churn.FaultLinkUps
+	res.PartitionsStarted = churn.PartStarts
+	res.PartitionsHealed = churn.PartHeals
+	res.SNRBursts = churn.Bursts
+	res.FlowsKilledByFault = e.killedCount
+	res.Availability = 1
+	if churn.set != nil {
+		res.Availability = churn.set.Availability(res.Elapsed)
+	}
+	if churn.PartHeals > 0 {
+		res.MeanHealLatency = churn.HealLatency / time.Duration(churn.PartHeals)
+	}
+	res.FlowsAbandoned = res.FlowsStarted - res.FlowsCompleted - res.FlowsKilledByFault
 
 	perModel := make([]ScenarioModelReport, e.mix.Len())
 	for i := range perModel {
@@ -451,7 +553,7 @@ func (e *scenarioEngine) assemble(cfg ScenarioConfig, churn *mobilityChurn) Scen
 			Server: f.server, Client: f.client,
 			Model: f.model, Hops: f.hops,
 			Start: time.Duration(f.start),
-			Bytes: f.got, Done: f.done,
+			Bytes: f.got, Done: f.done, Killed: f.killed,
 		}
 		if f.done {
 			rep.FCT = time.Duration(f.lastData - f.start)

@@ -579,5 +579,6 @@ func All() []Experiment {
 		{"scaling", ScalingMesh},
 		{"mobility", Mobility},
 		{"load", Load},
+		{"resilience", Resilience},
 	}
 }

@@ -13,7 +13,8 @@ func TestAllRegistryComplete(t *testing.T) {
 	all := All()
 	want := []string{"fig7", "table2", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "table3", "table4", "table5", "table8",
-		"ext-fairness", "ext-delay", "scaling", "mobility", "load"}
+		"ext-fairness", "ext-delay", "scaling", "mobility", "load",
+		"resilience"}
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
 	}

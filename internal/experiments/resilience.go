@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"aggmac/internal/core"
+	"aggmac/internal/faults"
+	"aggmac/internal/mac"
+	"aggmac/internal/phy"
+)
+
+// Resilience experiment defaults: the crash-rate × flap-rate grid every
+// base scheme is degraded under. MTBF 0 means the fault class is off.
+var (
+	defaultCrashMTBFs = []time.Duration{0, 60 * time.Second, 20 * time.Second}
+	defaultFlapMTBFs  = []time.Duration{0, 30 * time.Second}
+)
+
+// Resilience measures graceful degradation under seeded fault injection: a
+// 5×5 grid mesh whose nodes crash and recover (exponential MTBF/MTTR) and
+// whose links flap, swept over crash rate × flap rate under each base
+// scheme. Each cell reports aggregate goodput, flows completed, the worst
+// per-flow stall (longest gap between payload progress events) and route
+// repairs (recompute rounds), plus the run's measured node availability —
+// how much performance each ACK scheme keeps per unit of availability
+// lost, and how long traffic freezes while routes heal around failures.
+func Resilience(o Options) Table {
+	t := Table{
+		ID:    "Resilience",
+		Title: "Fault injection: goodput, stalls and route repairs vs crash and flap rate",
+		Notes: "grid N=25, 4 flows x 15 KB, crash MTTR 10 s, flap MTTR 2 s; rows scheme x crash MTBF (0 = no crashes); per flap MTBF f: aggregate Mbps, flows done, max per-flow stall (s), route repair rounds, node availability; incomplete flows count 0 Mbps",
+	}
+	for _, f := range defaultFlapMTBFs {
+		t.Columns = append(t.Columns,
+			fmt.Sprintf("Mbps@f%gs", f.Seconds()),
+			fmt.Sprintf("Done@f%gs", f.Seconds()),
+			fmt.Sprintf("Stall@f%gs", f.Seconds()),
+			fmt.Sprintf("Repairs@f%gs", f.Seconds()),
+			fmt.Sprintf("Avail@f%gs", f.Seconds()))
+	}
+	var p plan
+	for _, scheme := range []mac.Scheme{mac.NA, mac.UA, mac.BA} {
+		for _, crash := range defaultCrashMTBFs {
+			ri := len(t.Rows)
+			t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%s crash=%gs", scheme.Name(), crash.Seconds())})
+			for _, flap := range defaultFlapMTBFs {
+				p.mesh(fmt.Sprintf("resilience/%s/crash%v/flap%v", scheme.Name(), crash, flap),
+					ResilienceCell(scheme, crash, flap, o.Seed),
+					func(r core.MeshResult) {
+						t.Rows[ri].Values = append(t.Rows[ri].Values,
+							r.AggregateMbps,
+							float64(r.FlowsDone),
+							r.MaxFlowStall.Seconds(),
+							float64(r.RouteRecomputes),
+							r.Availability)
+					})
+			}
+		}
+	}
+	p.run(o)
+	return t
+}
+
+// ResilienceCell builds the mesh config of one resilience-experiment cell:
+// the mobility experiment's static grid with a fault set layered on.
+// cmd/aggbench and the golden harness reuse it so pinned runs measure
+// exactly the experiment's configuration.
+func ResilienceCell(scheme mac.Scheme, crashMTBF, flapMTBF time.Duration, seed int64) core.MeshTCPConfig {
+	cfg := core.MeshTCPConfig{
+		Scheme: scheme, Rate: phy.Rate2600k,
+		Topology: core.MeshGrid, Nodes: 25, Flows: 4,
+		FileBytes: 15_000, Seed: seed,
+		Deadline: 600 * time.Second,
+	}
+	if crashMTBF > 0 || flapMTBF > 0 {
+		cfg.Faults = &faults.Config{CrashMTBF: crashMTBF, FlapMTBF: flapMTBF}
+	}
+	return cfg
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"aggmac/internal/core"
+	"aggmac/internal/mac"
+)
+
+func TestResilienceShape(t *testing.T) {
+	tab := Resilience(Options{Seed: 1, Quick: true})
+	if tab.ID != "Resilience" {
+		t.Fatalf("ID %q", tab.ID)
+	}
+	// 5 metric columns per flap rate.
+	if len(tab.Columns) != 5*len(defaultFlapMTBFs) {
+		t.Fatalf("columns %v", tab.Columns)
+	}
+	// NA/UA/BA × crash MTBF grid.
+	if want := 3 * len(defaultCrashMTBFs); len(tab.Rows) != want {
+		t.Fatalf("rows %d, want %d", len(tab.Rows), want)
+	}
+	for _, r := range tab.Rows {
+		if len(r.Values) != len(tab.Columns) {
+			t.Fatalf("row %q has %d values", r.Label, len(r.Values))
+		}
+		for i := 0; i < len(r.Values); i += 5 {
+			mbps, done, stall, avail := r.Values[i], r.Values[i+1], r.Values[i+2], r.Values[i+4]
+			if mbps < 0 || done < 0 || done > 4 || stall < 0 {
+				t.Errorf("row %q cell %d implausible: %v", r.Label, i/5, r.Values[i:i+5])
+			}
+			if avail <= 0 || avail > 1 {
+				t.Errorf("row %q availability %v outside (0, 1]", r.Label, avail)
+			}
+		}
+	}
+	// Fault-free rows (crash MTBF 0, first flap column has no flaps either)
+	// must report perfect availability; the harshest crash row must not.
+	for ri, r := range tab.Rows {
+		crash := defaultCrashMTBFs[ri%len(defaultCrashMTBFs)]
+		if crash == 0 && r.Values[4] != 1 {
+			t.Errorf("row %q: availability %v with crashes off", r.Label, r.Values[4])
+		}
+		if crash == 20*time.Second && r.Values[4] >= 1 {
+			t.Errorf("row %q: availability %v despite 20 s crash MTBF", r.Label, r.Values[4])
+		}
+	}
+}
+
+// The EXPERIMENTS.md claim: in every crash-enabled cell the incomplete
+// flows are exactly the killed-by-fault ones — routing repairs keep every
+// surviving flow completing.
+func TestResilienceKilledAccountsForIncomplete(t *testing.T) {
+	for _, scheme := range []mac.Scheme{mac.NA, mac.UA, mac.BA} {
+		for _, crash := range defaultCrashMTBFs {
+			r := core.RunMeshTCP(ResilienceCell(scheme, crash, 0, 1))
+			if r.FlowsDone+r.FlowsKilledByFault != len(r.Flows) {
+				t.Errorf("%s crash=%v: done %d + killed %d != %d flows",
+					scheme.Name(), crash, r.FlowsDone, r.FlowsKilledByFault, len(r.Flows))
+			}
+		}
+	}
+}

@@ -77,8 +77,13 @@ type MAC struct {
 	currentUni   int // unicast subframes in current (for drop accounting)
 	nav          sim.Time
 	flushDue     bool
+	down         bool // crashed: no tx, no rx, no responses (fault injection)
 
 	difsTimer, slotTimer, respTimer, navTimer, flushTimer sim.Timer
+	// The data-path and response-path timers are stored too so Reset can
+	// cancel a mid-exchange MAC without leaving an event that would
+	// dereference the cleared exchange state.
+	sifsTimer, dataTimer, respSifsTimer, respEndTimer sim.Timer
 
 	// Precomputed event callbacks: the DCF schedules thousands of timers per
 	// simulated second, so the hot path hands the scheduler these stable
@@ -137,6 +142,48 @@ func (m *MAC) Counters() Counters { return m.c }
 // QueueLen returns the broadcast and unicast queue depths.
 func (m *MAC) QueueLen() (broadcast, unicast int) { return len(m.bq), len(m.uq) }
 
+// SetDown marks the MAC crashed (true) or recovered (false). A down MAC
+// accepts no frames, starts no access cycles, and ignores everything it
+// hears — the fault layer pairs SetDown(true) with Reset so the crash
+// forgets all volatile state, and link cuts at the topology layer isolate
+// the radio. Recovery is just SetDown(false): the MAC restarts from an
+// empty, idle state as a rebooted node would.
+func (m *MAC) SetDown(down bool) { m.down = down }
+
+// Down reports whether the MAC is crashed.
+func (m *MAC) Down() bool { return m.down }
+
+// Reset drops all volatile MAC state: queues, the in-flight exchange,
+// backoff and NAV, and every pending timer — including the mid-exchange
+// data/response events, which would otherwise fire into the cleared state.
+// Counters survive (they describe the run, not the node's uptime). Frames
+// already on the air are the medium's business and complete there; the
+// reset MAC simply no longer reacts to their outcome.
+func (m *MAC) Reset() {
+	m.difsTimer.Stop()
+	m.slotTimer.Stop()
+	m.respTimer.Stop()
+	m.navTimer.Stop()
+	m.flushTimer.Stop()
+	m.sifsTimer.Stop()
+	m.dataTimer.Stop()
+	m.respSifsTimer.Stop()
+	m.respEndTimer.Stop()
+	m.c.Drops += len(m.bq) + len(m.uq) + m.currentUni
+	m.bq = m.bq[:0]
+	m.uq = m.uq[:0]
+	m.current = nil
+	m.currentUni = 0
+	m.state = stIdle
+	m.cw = m.opts.CWmin
+	m.retries = 0
+	m.backoffSlots = -1
+	m.inAccess = false
+	m.respBusy = false
+	m.nav = 0
+	m.flushDue = false
+}
+
 // PreambleBytesPerTx expresses the preamble+PLCP in byte-equivalents at the
 // unicast rate, for the Table 3 size-overhead metric.
 func (m *MAC) PreambleBytesPerTx() float64 {
@@ -149,6 +196,10 @@ func (m *MAC) PreambleBytesPerTx() float64 {
 // frames and for classified TCP ACKs). It reports false when the queue is
 // full and the frame was dropped.
 func (m *MAC) Enqueue(out Outgoing, viaBroadcastQueue bool) bool {
+	if m.down {
+		m.c.QueueDrops++
+		return false
+	}
 	out.seq = m.seq
 	m.seq++
 	q := &m.uq
@@ -174,7 +225,7 @@ func (m *MAC) mediumBusy() bool {
 
 // maybeStartAccess begins a DCF access cycle when there is work to do.
 func (m *MAC) maybeStartAccess() {
-	if m.inAccess || m.state != stIdle {
+	if m.down || m.inAccess || m.state != stIdle {
 		return
 	}
 	if m.current == nil {
@@ -319,7 +370,7 @@ func (m *MAC) sendData(afterCTS bool) {
 	if afterCTS {
 		m.state = stSIFSData
 		m.c.IFSTime += 2 * m.opts.SIFS // RTS→CTS and CTS→DATA gaps
-		m.sched.After(m.opts.SIFS, "mac:sifsData", m.startDataFn)
+		m.sifsTimer = m.sched.After(m.opts.SIFS, "mac:sifsData", m.startDataFn)
 	} else {
 		m.startData()
 	}
@@ -331,7 +382,7 @@ func (m *MAC) startData() {
 	m.stampDurations(agg)
 	air := m.med.TransmitAggregate(m.id, agg)
 	m.accountDataTx(agg, air)
-	m.sched.After(air, "mac:dataEnd", m.dataEndFn)
+	m.dataTimer = m.sched.After(air, "mac:dataEnd", m.dataEndFn)
 }
 
 func (m *MAC) onDataEnd() {
@@ -486,6 +537,9 @@ func (m *MAC) CarrierIdle() { m.resumeAccess() }
 
 // RxControl implements medium.Radio.
 func (m *MAC) RxControl(src medium.NodeID, c frame.Control, snrdB float64) {
+	if m.down {
+		return
+	}
 	switch c.Type {
 	case frame.TypeRTS:
 		if c.RA == m.addr {
@@ -552,9 +606,9 @@ func (m *MAC) respondCTS(rts frame.Control) {
 func (m *MAC) transmitResponse(c frame.Control) {
 	m.respBusy = true
 	m.freezeAccess()
-	m.sched.After(m.opts.SIFS, "mac:respSIFS", func() {
+	m.respSifsTimer = m.sched.After(m.opts.SIFS, "mac:respSIFS", func() {
 		air := m.med.TransmitControl(m.id, c)
-		m.sched.After(air, "mac:respEnd", m.respEndFn)
+		m.respEndTimer = m.sched.After(air, "mac:respEnd", m.respEndFn)
 	})
 }
 
@@ -594,6 +648,9 @@ func (m *MAC) handleBlockAck(bitmap uint16) {
 
 // RxAggregate implements medium.Radio: the §4.2.2 receive process.
 func (m *MAC) RxAggregate(src medium.NodeID, hdr frame.PHYHeader, body []byte) {
+	if m.down {
+		return
+	}
 	if err := frame.DecodeAggregateInto(&m.rxScratch, hdr, body); err != nil {
 		return
 	}

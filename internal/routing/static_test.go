@@ -125,3 +125,129 @@ func TestDistances(t *testing.T) {
 		t.Errorf("unreachable distance = %d, want -1", got[1])
 	}
 }
+
+// gridAdj returns the orthogonal adjacency of a k×k grid with the edges
+// crossing the vertical line between columns cutAt-1 and cutAt removed
+// (cutAt <= 0 cuts nothing). Neighbor lists are ascending.
+func gridAdj(k, cutAt int) func(i int) []int {
+	adj := make([][]int, k*k)
+	for r := 0; r < k; r++ {
+		for c := 0; c < k; c++ {
+			i := r*k + c
+			if r > 0 {
+				adj[i] = append(adj[i], i-k)
+			}
+			if c > 0 && c != cutAt {
+				adj[i] = append(adj[i], i-1)
+			}
+			if c < k-1 && c+1 != cutAt {
+				adj[i] = append(adj[i], i+1)
+			}
+			if r < k-1 {
+				adj[i] = append(adj[i], i+k)
+			}
+		}
+	}
+	return func(i int) []int { return adj[i] }
+}
+
+// routeTable snapshots every installed (src, dst) -> next entry.
+func routeTable(nodes []*network.Node) map[[2]int]int {
+	tab := make(map[[2]int]int)
+	for v := range nodes {
+		for d := range nodes {
+			if d == v {
+				continue
+			}
+			if next, ok := nodes[v].Route(network.NodeID(d)); ok {
+				tab[[2]int{v, d}] = int(next)
+			}
+		}
+	}
+	return tab
+}
+
+// tableDiff counts entries added, removed or rerouted between snapshots.
+func tableDiff(old, new map[[2]int]int) int {
+	diff := 0
+	for k, v := range new {
+		if ov, ok := old[k]; !ok || ov != v {
+			diff++
+		}
+	}
+	for k := range old {
+		if _, ok := new[k]; !ok {
+			diff++
+		}
+	}
+	return diff
+}
+
+// TestRecomputePartitionAndHeal drives a 4×4 grid through a partition and
+// its heal. The incremental recompute must leave exactly the table a
+// from-scratch install over the same adjacency produces (the dense-BFS
+// oracle), report a flap count equal to the snapshot diff, and withdraw —
+// not stale-route — every cross-partition destination.
+func TestRecomputePartitionAndHeal(t *testing.T) {
+	const k = 4
+	nodes := make([]*network.Node, k*k)
+	for i := range nodes {
+		nodes[i] = network.NewNode(network.NodeID(i))
+	}
+	full := gridAdj(k, 0)
+	InstallShortestPaths(nodes, full)
+	before := routeTable(nodes)
+
+	// Oracle for any adjacency: install from scratch into fresh nodes.
+	oracle := func(adj func(i int) []int) map[[2]int]int {
+		fresh := make([]*network.Node, k*k)
+		for i := range fresh {
+			fresh[i] = network.NewNode(network.NodeID(i))
+		}
+		InstallShortestPaths(fresh, adj)
+		return routeTable(fresh)
+	}
+
+	// Partition between columns 1 and 2: two 8-node halves.
+	cut := gridAdj(k, 2)
+	changed := RecomputeShortestPaths(nodes, cut)
+	after := routeTable(nodes)
+	want := oracle(cut)
+	if !reflect.DeepEqual(after, want) {
+		t.Fatal("partitioned table differs from the from-scratch oracle")
+	}
+	if diff := tableDiff(before, after); changed != diff {
+		t.Errorf("recompute reported %d flaps, snapshot diff is %d", changed, diff)
+	}
+	// No stale routes: every cross-partition pair must be withdrawn. Node
+	// ids in the left half have column < 2.
+	for v := range nodes {
+		for d := range nodes {
+			if v == d || (v%k < 2) == (d%k < 2) {
+				continue
+			}
+			if next, ok := nodes[v].Route(network.NodeID(d)); ok {
+				t.Fatalf("stale route across the partition: %d->%d via %d", v, d, next)
+			}
+		}
+	}
+	// Both halves keep full internal reachability: 8 nodes × 7 peers each.
+	if got := len(after); got != 2*8*7 {
+		t.Errorf("partitioned table has %d entries, want %d", got, 2*8*7)
+	}
+
+	// Heal: the table must return exactly to the pre-partition state (the
+	// tie-break is deterministic), with the flap count again matching.
+	healed := RecomputeShortestPaths(nodes, full)
+	now := routeTable(nodes)
+	if !reflect.DeepEqual(now, before) {
+		t.Fatal("healed table differs from the original install")
+	}
+	if diff := tableDiff(after, now); healed != diff {
+		t.Errorf("heal reported %d flaps, snapshot diff is %d", healed, diff)
+	}
+	// Equilibrium after heal.
+	if again := RecomputeShortestPaths(nodes, full); again != 0 {
+		t.Fatalf("post-heal recompute changed %d routes", again)
+	}
+}

@@ -32,6 +32,12 @@ type Spec struct {
 	UDP      *core.UDPConfig
 	Mesh     *core.MeshTCPConfig
 	Scenario *core.ScenarioConfig
+	// Timeout, when positive, bounds the run's wall-clock time: a run that
+	// exceeds it fails loudly with a *sim.WallBudgetError in Result.Err
+	// instead of hanging its worker (and with it the whole sweep). Applied
+	// to Mesh and Scenario runs; the fixed-duration TCP/UDP point runs
+	// ignore it. The watchdog never affects what a surviving run computes.
+	Timeout time.Duration
 }
 
 // Result is one completed run, indexed by its spec's position.
@@ -193,10 +199,18 @@ func runOne(i int, s Spec) (res Result) {
 		r := core.RunUDP(*s.UDP)
 		res.UDP = &r
 	case s.Mesh != nil:
-		r := core.RunMeshTCP(*s.Mesh)
+		cfg := *s.Mesh
+		if s.Timeout > 0 && cfg.WallBudget == 0 {
+			cfg.WallBudget = s.Timeout
+		}
+		r := core.RunMeshTCP(cfg)
 		res.Mesh = &r
 	default:
-		r := core.RunScenario(*s.Scenario)
+		cfg := *s.Scenario
+		if s.Timeout > 0 && cfg.WallBudget == 0 {
+			cfg.WallBudget = s.Timeout
+		}
+		r := core.RunScenario(cfg)
 		res.Scenario = &r
 	}
 	return res

@@ -4,6 +4,7 @@ import (
 	"context"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -362,5 +363,33 @@ func TestMobileMeshSpecDeterministicAcrossWorkers(t *testing.T) {
 		if base[i].Mesh.RouteRecomputes == 0 {
 			t.Errorf("run %d: mobility never ticked", i)
 		}
+	}
+}
+
+// TestSpecTimeout: a hung run fails loudly instead of wedging the sweep —
+// the wall-clock watchdog converts it into a per-run error naming the
+// budget — while a generous timeout changes nothing about the result.
+func TestSpecTimeout(t *testing.T) {
+	mesh := &core.MeshTCPConfig{
+		Scheme: mac.BA, Rate: phy.Rate2600k,
+		Topology: core.MeshGrid, Nodes: 9, Flows: 2,
+		FileBytes: 8_000, Seed: 1,
+	}
+	res := run(t, 1, []Spec{
+		{Key: "hung", Mesh: mesh, Timeout: time.Nanosecond},
+		{Key: "fine", Mesh: mesh, Timeout: time.Hour},
+		{Key: "plain", Mesh: mesh},
+	})
+	if res[0].Err == nil || res[0].Mesh != nil {
+		t.Fatalf("1 ns timeout did not fail the run: %+v", res[0])
+	}
+	if !strings.Contains(res[0].Err.Error(), "wall-clock budget") {
+		t.Errorf("timeout error does not name the budget: %v", res[0].Err)
+	}
+	if res[1].Err != nil || res[2].Err != nil {
+		t.Fatalf("later specs affected: %v / %v", res[1].Err, res[2].Err)
+	}
+	if !reflect.DeepEqual(res[1].Mesh, res[2].Mesh) {
+		t.Error("an unfired timeout changed the run's result")
 	}
 }

@@ -44,14 +44,21 @@ import (
 const maxTime = Time(math.MaxInt64)
 
 // A blocked shard spins (Gosched between passes) up to blockedSpins times
-// waiting for a neighbor clock to move, then parks in short sleeps. Spinning
-// keeps handoff latency far below the sleep timer's wake granularity, so
-// normal builds effectively never nap (see shard_norace.go). Under the race
-// detector every pass costs microseconds of instrumented atomics and the
-// spinners starve the one shard that can progress, so race builds cut the
-// spin budget and fall back to sleeping (shard_race.go). Wall-clock timing
-// never affects event order, so this is performance-only.
+// waiting for a neighbor clock to move, then stops burning the core. In
+// normal builds it parks for real: a per-shard wakeup channel, signalled
+// whenever a neighbor's published clock advances, a boundary event is
+// posted to the shard, or the engine terminates, with a coarse fallback
+// timer guarding against any wakeup the signalling misses (see
+// shard_norace.go). Under the race detector every blocked pass costs
+// microseconds of instrumented atomics and channel parking serializes
+// against the shard that can progress, so race builds keep the historical
+// spin-then-nap path (shard_race.go). Wall-clock timing never affects
+// event order, so all of this is performance-only.
 const blockedNap = 20 * time.Microsecond
+
+// parkTimeout is the parked shard's fallback wakeup. The explicit wakeups
+// make it nearly unreachable; it only bounds the cost of a lost wakeup.
+const parkTimeout = time.Millisecond
 
 // boundaryEvent is one cross-shard effect: fn runs on the destination shard
 // with the destination scheduler's clock advanced exactly to at.
@@ -96,6 +103,12 @@ type engineShard struct {
 	// status is epoch<<1 | idleBit, written only by the owner.
 	status atomic.Uint64
 
+	// wake and parked implement real blocking for a shard with nothing
+	// runnable (see park). wake is buffered so wakers never block; parked
+	// is the Dekker flag that makes the token delivery race-free.
+	wake   chan struct{}
+	parked atomic.Bool
+
 	panicked any
 }
 
@@ -137,6 +150,7 @@ func NewShardEngine(scheds []*Scheduler, lookahead Time) *ShardEngine {
 			in:    make([]*inbox, len(scheds)),
 			out:   make([]*inbox, len(scheds)),
 			seq:   make([]uint64, len(scheds)),
+			wake:  make(chan struct{}, 1),
 		}
 	}
 	return e
@@ -201,6 +215,9 @@ func (e *ShardEngine) Post(src, dst int, at Time, fn func()) {
 	box.items = append(box.items, ev)
 	box.mu.Unlock()
 	box.pushed.Add(1)
+	if parkBlocked {
+		e.shards[dst].wakeup()
+	}
 }
 
 // Run executes all shards concurrently until every shard has drained its
@@ -221,6 +238,7 @@ func (e *ShardEngine) Run(deadline Time) {
 				if r := recover(); r != nil {
 					s.panicked = r
 					e.done.Store(true)
+					e.wakeAll()
 				}
 			}()
 			e.runShard(s)
@@ -252,10 +270,73 @@ func (e *ShardEngine) horizon(s *engineShard) Time {
 }
 
 // publish raises shard s's clock to t (owner-only writer, so a plain
-// compare suffices; the store has release semantics).
+// compare suffices; the store has release semantics). An actual advance
+// can only widen the horizons of s's neighbors, so they are woken.
 func (e *ShardEngine) publish(s *engineShard, t Time) {
 	if int64(t) > e.clocks[s.id].v.Load() {
 		e.clocks[s.id].v.Store(int64(t))
+		if parkBlocked {
+			for _, n := range s.nbrs {
+				e.shards[n].wakeup()
+			}
+		}
+	}
+}
+
+// wakeup delivers a non-blocking token to a parked shard. The parked flag
+// is set before the sleeper's final state re-check (Dekker), so a state
+// change that the sleeper misses always finds parked == true here and the
+// token is never lost; a stale token at worst costs one spurious pass.
+func (s *engineShard) wakeup() {
+	if s.parked.Load() {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// wakeAll unparks every shard; called whenever done flips so no goroutine
+// outlives termination by a park timeout.
+func (e *ShardEngine) wakeAll() {
+	for _, s := range e.shards {
+		s.wakeup()
+	}
+}
+
+// inboxDirty reports whether any inbound inbox has undrained events.
+func (s *engineShard) inboxDirty() bool {
+	for _, n := range s.nbrs {
+		box := s.in[n]
+		if box.pushed.Load() != box.drained.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// park blocks s until a neighbor clock advance, an inbound boundary event,
+// engine termination, or the fallback timeout. h is the horizon the caller
+// computed before deciding it was blocked: if the live horizon has already
+// moved past it, the nap is skipped. The Dekker protocol — store parked,
+// re-check every unblock condition, only then sleep — closes the window
+// between the caller's checks and the channel receive.
+func (e *ShardEngine) park(s *engineShard, h Time) {
+	s.parked.Store(true)
+	if e.done.Load() || e.horizon(s) > h || s.inboxDirty() {
+		s.parked.Store(false)
+		return
+	}
+	t := time.NewTimer(parkTimeout)
+	select {
+	case <-s.wake:
+	case <-t.C:
+	}
+	t.Stop()
+	s.parked.Store(false)
+	select { // drop a token raced in by the timer path
+	case <-s.wake:
+	default:
 	}
 }
 
@@ -369,6 +450,7 @@ func (e *ShardEngine) tryTerminate(snap []uint64) bool {
 		}
 	}
 	e.done.Store(true)
+	e.wakeAll()
 	return true
 }
 
@@ -455,6 +537,8 @@ func (e *ShardEngine) runShard(s *engineShard) {
 			idlePasses = 0
 		} else if idlePasses++; idlePasses <= blockedSpins {
 			runtime.Gosched()
+		} else if parkBlocked {
+			e.park(s, h)
 		} else {
 			time.Sleep(blockedNap)
 		}
@@ -492,6 +576,8 @@ func (e *ShardEngine) haltShard(s *engineShard) {
 		}
 		if idlePasses++; idlePasses <= blockedSpins {
 			runtime.Gosched()
+		} else if parkBlocked {
+			e.park(s, maxTime)
 		} else {
 			time.Sleep(blockedNap)
 		}

@@ -3,5 +3,12 @@
 package sim
 
 // Without the race detector a blocked shard's pass is ~100ns of plain atomic
-// loads; pure spinning wins and the nap path is effectively unreachable.
-const blockedSpins = 1 << 30
+// loads. A short spin still wins for tight handoffs, but past that the shard
+// parks on its wakeup channel instead of burning the core: neighbor clock
+// advances, inbound posts, and termination all deliver explicit wakeups, so
+// the latency cost of parking is one channel send instead of a sleep-timer
+// granule.
+const (
+	blockedSpins = 128
+	parkBlocked  = true
+)

@@ -4,5 +4,10 @@ package sim
 
 // Under the race detector each blocked pass costs microseconds of
 // instrumented atomics and the spinners serialize against the shard that can
-// actually progress; give up quickly and sleep instead.
-const blockedSpins = 64
+// actually progress; give up quickly and sleep instead. Channel parking is
+// also disabled: instrumented channel ops on every publish would slow the
+// fast path more than the naps cost.
+const (
+	blockedSpins = 64
+	parkBlocked  = false
+)

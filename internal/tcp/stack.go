@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"fmt"
+	"sort"
 
 	"aggmac/internal/network"
 	"aggmac/internal/sim"
@@ -99,6 +100,44 @@ func (st *Stack) newConn(peer network.NodeID, localPort, remotePort uint16) *Con
 
 func (st *Stack) drop(c *Conn) {
 	delete(st.conns, connKey{c.peer, c.localPort, c.remotePort})
+}
+
+// Abort kills every connection in place, as a node crash would: timers
+// stopped, state forced closed, no FIN or RST on the wire and no OnClose
+// callbacks — the peer finds out the hard way, through retransmission
+// timeouts. Listeners survive (a recovered node accepts new connections).
+// Connections are aborted in sorted key order so the (callback-free) walk
+// stays deterministic regardless of map iteration order. It returns the
+// number of connections aborted.
+func (st *Stack) Abort() int {
+	if len(st.conns) == 0 {
+		return 0
+	}
+	keys := make([]connKey, 0, len(st.conns))
+	for k := range st.conns {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.peer != b.peer {
+			return a.peer < b.peer
+		}
+		if a.localPort != b.localPort {
+			return a.localPort < b.localPort
+		}
+		return a.remotePort < b.remotePort
+	})
+	for _, k := range keys {
+		c := st.conns[k]
+		c.rtxTimer.Stop()
+		c.delAckT.Stop()
+		c.delAckN = 0
+		// StateClosed makes every still-scheduled event on this connection
+		// a guarded no-op (onRTO, the time-wait expiry, flushDelAck).
+		c.state = StateClosed
+		delete(st.conns, k)
+	}
+	return len(keys)
 }
 
 // send marshals a segment into a network packet. Tests may intercept it.

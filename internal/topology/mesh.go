@@ -81,8 +81,24 @@ type Mesh struct {
 	// components (random layouts only).
 	Bridged int
 
-	rm RadioModel // resolved radio model, shared by build and UpdateLinks
+	rm      RadioModel  // resolved radio model, shared by build and UpdateLinks
+	overlay LinkOverlay // optional link veto / SNR degradation (fault injection)
 }
+
+// LinkOverlay lets a fault layer veto links and degrade SNR without its
+// own reconciliation path: UpdateLinks consults it on every refresh, so a
+// vetoed link is cut through the same incremental SetConnected delta a
+// range cut uses and restored links rise the same way. LinkUp must be
+// symmetric in (a, b); SNRPenaltyDB is subtracted from the
+// distance-derived SNR of in-range pairs. A nil overlay changes nothing.
+type LinkOverlay interface {
+	LinkUp(a, b int) bool
+	SNRPenaltyDB(a, b int) float64
+}
+
+// SetOverlay installs (or, with nil, removes) the link overlay. The next
+// UpdateLinks reconciles the medium against it.
+func (m *Mesh) SetOverlay(o LinkOverlay) { m.overlay = o }
 
 // newMesh builds nodes at the given positions and wires every pair within
 // radio range with a distance-derived SNR. Routes are not yet installed.
@@ -329,6 +345,10 @@ type LinkDelta struct {
 // the radio model from the first refresh on: mobility either brings the
 // endpoints into real range or the bridge is cut. Pos and LinkCount are
 // updated in place.
+//
+// With a LinkOverlay installed, overlay-vetoed pairs are cut (and kept
+// cut) and in-range SNRs carry the overlay's penalty; the overlay is
+// consulted against the freshly copied positions.
 func (m *Mesh) UpdateLinks(pos []Point) LinkDelta {
 	copy(m.Pos, pos)
 	n := len(m.Pos)
@@ -337,7 +357,11 @@ func (m *Mesh) UpdateLinks(pos []Point) LinkDelta {
 	var cuts [][2]int // collected first: Neighbors returns the live index
 	for a := 0; a < n; a++ {
 		for _, b := range m.Medium.Neighbors(medium.NodeID(a)) {
-			if int(b) > a && m.Pos[a].dist(m.Pos[int(b)]) > m.rm.Range {
+			if int(b) <= a {
+				continue
+			}
+			if m.Pos[a].dist(m.Pos[int(b)]) > m.rm.Range ||
+				(m.overlay != nil && !m.overlay.LinkUp(a, int(b))) {
 				cuts = append(cuts, [2]int{a, int(b)})
 			}
 		}
@@ -358,11 +382,18 @@ func (m *Mesh) UpdateLinks(pos []Point) LinkDelta {
 		if d > m.rm.Range {
 			return
 		}
+		snr := m.rm.SNRAt(d)
+		if m.overlay != nil {
+			if !m.overlay.LinkUp(a, b) {
+				return
+			}
+			snr -= m.overlay.SNRPenaltyDB(a, b)
+		}
 		if !m.Medium.Connected(medium.NodeID(a), medium.NodeID(b)) {
 			m.Medium.SetConnected(medium.NodeID(a), medium.NodeID(b), true)
 			delta.Up++
 		}
-		m.Medium.SetSNR(medium.NodeID(a), medium.NodeID(b), m.rm.SNRAt(d))
+		m.Medium.SetSNR(medium.NodeID(a), medium.NodeID(b), snr)
 		delta.InRange++
 	}
 	// Half-plane offsets visit each unordered cell pair exactly once;

@@ -33,6 +33,20 @@ func FuzzParseScenario(f *testing.F) {
 	f.Add([]byte(`{"version":1}`))
 	f.Add([]byte(`{"version":1,"duration_s":1e308,"deadline_s":1e308}`))
 	f.Add([]byte(`not json`))
+	// Fault-section seeds (schema v2): valid, boundary, and malformed —
+	// a faults section on a v1 scenario, sub-minimum means, a bad axis, a
+	// zero-duration partition, and a negative SNR penalty.
+	const faultBase = `"name":"f","seed":1,"duration_s":5,"deadline_s":20,"schemes":["ba"],"rate_mbps":2.6,` +
+		`"topology":{"kind":"grid","nodes":9},` +
+		`"traffic":{"mode":"open","arrival_rate":0.2,"mix":[{"model":{"kind":"pareto","bytes":4000},"weight":1}]}`
+	f.Add([]byte(`{"version":2,` + faultBase + `,"faults":{"crash_mtbf_s":20,"crash_mttr_s":5}}`))
+	f.Add([]byte(`{"version":2,` + faultBase + `,"faults":{"flap_mtbf_s":0.001,"flap_mttr_s":0.001,` +
+		`"snr_burst_mtbf_s":10,"snr_burst_db":25,` +
+		`"partitions":[{"start_s":0,"duration_s":1,"axis":"y","at":1.5}]}}`))
+	f.Add([]byte(`{"version":1,` + faultBase + `,"faults":{"crash_mtbf_s":20}}`))
+	f.Add([]byte(`{"version":2,` + faultBase + `,"faults":{"crash_mtbf_s":0.0001}}`))
+	f.Add([]byte(`{"version":2,` + faultBase + `,"faults":{"partitions":[{"start_s":1,"duration_s":0,"axis":"z","at":0}]}}`))
+	f.Add([]byte(`{"version":2,` + faultBase + `,"faults":{"snr_burst_mtbf_s":5,"snr_burst_db":-3}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Parse(bytes.NewReader(data))

@@ -16,8 +16,10 @@ import (
 
 // SchemaVersion is the scenario file format this build reads. Bump it on
 // incompatible schema changes; Validate rejects files from the future so a
-// stale binary fails loudly instead of misreading new fields.
-const SchemaVersion = 1
+// stale binary fails loudly instead of misreading new fields. Version 2
+// added the optional "faults" section; files that use it must declare at
+// least version 2, and version-1 files parse unchanged.
+const SchemaVersion = 2
 
 // Scenario is one declarative experiment. All durations are plain seconds
 // (JSON numbers), not Go duration strings, so files stay tool-friendly.
@@ -45,6 +47,8 @@ type Scenario struct {
 	Topology Topology  `json:"topology"`
 	Mobility *Mobility `json:"mobility,omitempty"`
 	Traffic  Traffic   `json:"traffic"`
+	// Faults injects seeded failures (schema version >= 2).
+	Faults *Faults `json:"faults,omitempty"`
 }
 
 // Topology selects a generated mesh layout.
@@ -78,6 +82,38 @@ type Mobility struct {
 	PauseS float64 `json:"pause_s,omitempty"`
 	// MoveIntervalS is the position/link/route update interval (default 1).
 	MoveIntervalS float64 `json:"move_interval_s,omitempty"`
+}
+
+// Faults mirrors faults.Config in schema form: seeded node crash/recover
+// cycles, link flapping, scheduled area partitions and SNR-degradation
+// bursts. All times are mean seconds of exponential draws; a class whose
+// MTBF is 0 (or absent) is disabled. See internal/faults for semantics.
+type Faults struct {
+	// CrashMTBFS is each node's mean up time between crashes;
+	// CrashMTTRS the mean repair time (default 10 when crashes are on).
+	CrashMTBFS float64 `json:"crash_mtbf_s,omitempty"`
+	CrashMTTRS float64 `json:"crash_mttr_s,omitempty"`
+	// FlapMTBFS/FlapMTTRS drive per-link up/down flapping (MTTR default 2).
+	FlapMTBFS float64 `json:"flap_mtbf_s,omitempty"`
+	FlapMTTRS float64 `json:"flap_mttr_s,omitempty"`
+	// SNRBurstMTBFS/SNRBurstMTTRS drive per-node SNR-degradation bursts
+	// (MTTR default 1); SNRBurstDB is the per-endpoint penalty (default 10).
+	SNRBurstMTBFS float64 `json:"snr_burst_mtbf_s,omitempty"`
+	SNRBurstMTTRS float64 `json:"snr_burst_mttr_s,omitempty"`
+	SNRBurstDB    float64 `json:"snr_burst_db,omitempty"`
+	// Partitions are scheduled area partitions, applied independently.
+	Partitions []PartitionSpec `json:"partitions,omitempty"`
+}
+
+// PartitionSpec is one scheduled area partition: for seconds
+// [start_s, start_s+duration_s) every link crossing the line axis = at is
+// cut.
+type PartitionSpec struct {
+	StartS    float64 `json:"start_s"`
+	DurationS float64 `json:"duration_s"`
+	// Axis is "x" (default) or "y".
+	Axis string  `json:"axis,omitempty"`
+	At   float64 `json:"at"`
 }
 
 // Traffic declares the workload: an arrival discipline plus a model mix.
@@ -121,6 +157,11 @@ func (s Scenario) Clone() Scenario {
 	if s.Topology.Radio != nil {
 		radio := *s.Topology.Radio
 		c.Topology.Radio = &radio
+	}
+	if s.Faults != nil {
+		f := *s.Faults
+		f.Partitions = append([]PartitionSpec(nil), s.Faults.Partitions...)
+		c.Faults = &f
 	}
 	return c
 }
@@ -195,6 +236,29 @@ func (s *Scenario) Normalize() {
 	for i := range s.Traffic.Mix {
 		s.Traffic.Mix[i].Model = s.Traffic.Mix[i].Model.withDefaults()
 	}
+	if f := s.Faults; f != nil {
+		// Mirror faults.Config.Normalize so the resolved schema and the
+		// fault engine agree on the effective parameters.
+		if f.CrashMTBFS > 0 && f.CrashMTTRS == 0 {
+			f.CrashMTTRS = 10
+		}
+		if f.FlapMTBFS > 0 && f.FlapMTTRS == 0 {
+			f.FlapMTTRS = 2
+		}
+		if f.SNRBurstMTBFS > 0 {
+			if f.SNRBurstMTTRS == 0 {
+				f.SNRBurstMTTRS = 1
+			}
+			if f.SNRBurstDB == 0 {
+				f.SNRBurstDB = 10
+			}
+		}
+		for i := range f.Partitions {
+			if f.Partitions[i].Axis == "" {
+				f.Partitions[i].Axis = "x"
+			}
+		}
+	}
 }
 
 // Validate normalizes the scenario and reports the first problem.
@@ -252,6 +316,50 @@ func (s *Scenario) Validate() error {
 	}
 	if _, err := NewMix(s.Traffic.Mix); err != nil {
 		return err
+	}
+	if f := s.Faults; f != nil {
+		if s.Version < 2 {
+			return fmt.Errorf("traffic: the faults section needs schema version >= 2, got %d", s.Version)
+		}
+		// 0.001 s mirrors the fault engine's minimum mean (faults.minMean):
+		// renewal legs are consumed one by one, so a tiny mean would make
+		// every dynamics tick arbitrarily expensive.
+		const minMeanS = 0.001
+		check := func(name string, mtbf, mttr float64) error {
+			if mtbf == 0 && mttr >= 0 {
+				return nil
+			}
+			if mtbf != 0 && mtbf < minMeanS {
+				return fmt.Errorf("traffic: faults %s_mtbf_s %g is below the minimum %g", name, mtbf, minMeanS)
+			}
+			if mttr < minMeanS {
+				return fmt.Errorf("traffic: faults %s_mttr_s %g is below the minimum %g", name, mttr, minMeanS)
+			}
+			return nil
+		}
+		if err := check("crash", f.CrashMTBFS, f.CrashMTTRS); err != nil {
+			return err
+		}
+		if err := check("flap", f.FlapMTBFS, f.FlapMTTRS); err != nil {
+			return err
+		}
+		if err := check("snr_burst", f.SNRBurstMTBFS, f.SNRBurstMTTRS); err != nil {
+			return err
+		}
+		if f.SNRBurstDB < 0 {
+			return fmt.Errorf("traffic: faults snr_burst_db %g is negative", f.SNRBurstDB)
+		}
+		for i, p := range f.Partitions {
+			if p.Axis != "x" && p.Axis != "y" {
+				return fmt.Errorf("traffic: faults partition %d axis %q (want x|y)", i, p.Axis)
+			}
+			if p.StartS < 0 {
+				return fmt.Errorf("traffic: faults partition %d start_s %g is negative", i, p.StartS)
+			}
+			if p.DurationS <= 0 {
+				return fmt.Errorf("traffic: faults partition %d duration_s %g must be positive", i, p.DurationS)
+			}
+		}
 	}
 	return nil
 }

@@ -82,6 +82,28 @@ func TestScenarioValidation(t *testing.T) {
 		{"empty mix", func(s *Scenario) { s.Traffic.Mix = nil }},
 		{"bad mix model", func(s *Scenario) { s.Traffic.Mix[0].Model.Kind = "warp" }},
 		{"max_flows over engine limit", func(s *Scenario) { s.Traffic.MaxFlows = MaxFlowsLimit + 1 }},
+		{"faults on v1", func(s *Scenario) { s.Faults = &Faults{CrashMTBFS: 10} }},
+		{"crash mtbf below minimum", func(s *Scenario) { s.Version = 2; s.Faults = &Faults{CrashMTBFS: 0.0001} }},
+		{"flap mttr below minimum", func(s *Scenario) {
+			s.Version = 2
+			s.Faults = &Faults{FlapMTBFS: 10, FlapMTTRS: 0.0001}
+		}},
+		{"negative snr penalty", func(s *Scenario) {
+			s.Version = 2
+			s.Faults = &Faults{SNRBurstMTBFS: 10, SNRBurstDB: -1}
+		}},
+		{"bad partition axis", func(s *Scenario) {
+			s.Version = 2
+			s.Faults = &Faults{Partitions: []PartitionSpec{{StartS: 1, DurationS: 1, Axis: "z"}}}
+		}},
+		{"zero-duration partition", func(s *Scenario) {
+			s.Version = 2
+			s.Faults = &Faults{Partitions: []PartitionSpec{{StartS: 1}}}
+		}},
+		{"negative partition start", func(s *Scenario) {
+			s.Version = 2
+			s.Faults = &Faults{Partitions: []PartitionSpec{{StartS: -1, DurationS: 1}}}
+		}},
 	}
 	for _, c := range cases {
 		if err := mutate(t, c.f); err == nil {
@@ -104,6 +126,31 @@ func TestScenarioValidation(t *testing.T) {
 	// Scheme names validate case-insensitively, like mac.SchemeByName.
 	if err := mutate(t, func(s *Scenario) { s.Schemes = []string{"BA", "Na"} }); err != nil {
 		t.Errorf("uppercase scheme names rejected: %v", err)
+	}
+	// A v2 faults section validates and its defaults resolve like the
+	// faults package's own Normalize.
+	s, err := Parse(strings.NewReader(goodScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Version = 2
+	s.Faults = &Faults{CrashMTBFS: 30, FlapMTBFS: 20, SNRBurstMTBFS: 15,
+		Partitions: []PartitionSpec{{StartS: 5, DurationS: 2, At: 1.5}}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid v2 faults section rejected: %v", err)
+	}
+	if s.Faults.CrashMTTRS != 10 || s.Faults.FlapMTTRS != 2 ||
+		s.Faults.SNRBurstMTTRS != 1 || s.Faults.SNRBurstDB != 10 {
+		t.Errorf("faults MTTR/penalty defaults wrong: %+v", s.Faults)
+	}
+	if s.Faults.Partitions[0].Axis != "x" {
+		t.Errorf("partition axis default = %q, want x", s.Faults.Partitions[0].Axis)
+	}
+	// Clone must deep-copy the faults section.
+	c := s.Clone()
+	c.Faults.Partitions[0].At = 99
+	if s.Faults.Partitions[0].At == 99 {
+		t.Error("Clone shares the partitions slice")
 	}
 }
 
