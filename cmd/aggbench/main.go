@@ -36,6 +36,18 @@
 //	aggbench -benchjson > BENCH_baseline.json  # headline benches as JSON
 //	aggbench -benchfmt BENCH_baseline.json     # JSON -> `go test -bench`
 //	                                           # text, for benchstat
+//
+// Crash-safe sweeps (see README "Crash-safe sweeps"): -store DIR flushes
+// every completed cell durably as it lands; -resume additionally serves
+// already-stored cells from the store, so a killed regeneration re-run
+// with the same flags produces byte-identical output to an uninterrupted
+// run; -retries N re-executes transient failures (wall-budget timeouts):
+//
+//	aggbench -store results/ -resume -json > eval.json
+//
+// Exit codes: 0 success; 1 a run failed or the environment did (store
+// locked, I/O error); 2 flag/usage error. Usage errors never touch the
+// store.
 package main
 
 import (
@@ -51,6 +63,15 @@ import (
 	"aggmac/internal/core"
 	"aggmac/internal/experiments"
 	"aggmac/internal/runner"
+	"aggmac/internal/store"
+)
+
+// Exit codes, documented in the README: usage/validation errors must be
+// distinguishable from run failures in scripts and CI, and must never
+// create or lock the results store.
+const (
+	exitRunFail = 1
+	exitUsage   = 2
 )
 
 func main() {
@@ -69,6 +90,9 @@ func main() {
 		benchfmt   = flag.String("benchfmt", "", "read a -benchjson file and print it in `go test -bench` text form (benchstat input)")
 		meshSizes  = flag.String("mesh-sizes", "", "scaling experiment: comma list of network sizes (default 25,100,400)")
 		meshTopos  = flag.String("mesh-topos", "", "scaling experiment: comma list of topologies: grid|disk|chains (default grid,disk)")
+		storeDir   = flag.String("store", "", "durable results store directory; completed cells are flushed there as they land")
+		resume     = flag.Bool("resume", false, "serve already-stored cells from -store instead of re-running them")
+		retries    = flag.Int("retries", 0, "extra attempts for transiently failed runs (wall-budget timeouts), with capped exponential backoff")
 	)
 	flag.Parse()
 
@@ -124,7 +148,27 @@ func main() {
 	}
 	if *jsonOut && *csvOut {
 		fmt.Fprintln(os.Stderr, "aggbench: -json and -csv are mutually exclusive")
-		os.Exit(2)
+		os.Exit(exitUsage)
+	}
+	if *resume && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "aggbench: -resume requires -store")
+		os.Exit(exitUsage)
+	}
+	if *retries < 0 {
+		fmt.Fprintln(os.Stderr, "aggbench: -retries must be >= 0")
+		os.Exit(exitUsage)
+	}
+	// Resolve the experiment selection before touching the store: an unknown
+	// -exp is a usage error and must not create, lock or mutate anything.
+	var selected []experiments.Experiment
+	for _, e := range all {
+		if *exp == "" || e.Name == *exp {
+			selected = append(selected, e)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "aggbench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(exitUsage)
 	}
 
 	opts := experiments.Options{Seed: *seed, Quick: *quick, Workers: *parallel}
@@ -136,7 +180,7 @@ func main() {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || n < 4 {
 				fmt.Fprintf(os.Stderr, "aggbench: bad -mesh-sizes entry %q\n", s)
-				os.Exit(2)
+				os.Exit(exitUsage)
 			}
 			opts.MeshSizes = append(opts.MeshSizes, n)
 		}
@@ -149,31 +193,69 @@ func main() {
 				opts.MeshTopos = append(opts.MeshTopos, topo)
 			default:
 				fmt.Fprintf(os.Stderr, "aggbench: bad -mesh-topos entry %q (grid|disk|chains)\n", s)
-				os.Exit(2)
+				os.Exit(exitUsage)
 			}
 		}
 	}
 
+	// All validation is done; only now may the store be created and locked.
+	var st *store.Store
+	var cached, executed, retried int
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(exitRunFail)
+		}
+		defer st.Close()
+		opts.Cache = st
+		opts.Resume = *resume
+		// Count cache traffic for the resume summary without disturbing the
+		// user's -progress reporter. OnResult calls are serialized per pool
+		// and experiments run sequentially, so plain ints are safe.
+		user := opts.Progress
+		opts.Progress = func(p runner.Progress) {
+			if p.Cached {
+				cached++
+			} else {
+				executed++
+				if p.Attempts > 1 {
+					retried++
+				}
+			}
+			if user != nil {
+				user(p)
+			}
+		}
+	}
+	opts.Retry = runner.RetryPolicy{MaxAttempts: *retries + 1}
+
 	// JSON/CSV need the whole set before encoding; text mode prints each
 	// table as soon as its runs finish.
 	var tables []experiments.Table
-	ran := 0
 	start := time.Now()
-	for _, e := range all {
-		if *exp != "" && e.Name != *exp {
-			continue
+	for _, e := range selected {
+		t, err := runExperiment(e, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aggbench: experiment %s: %v\n", e.Name, err)
+			if st != nil {
+				st.Close() // completed cells are already durable
+			}
+			os.Exit(exitRunFail)
 		}
-		t := e.Run(opts)
-		ran++
 		if *jsonOut || *csvOut {
 			tables = append(tables, t)
 		} else {
 			fmt.Println(t.Format())
 		}
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "aggbench: unknown experiment %q (try -list)\n", *exp)
-		os.Exit(2)
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "aggbench: store %s: %d cell(s) cached, %d executed, %d retried\n",
+			st.Dir(), cached, executed, retried)
+		if c := st.Stats().Corrupt; c > 0 {
+			fmt.Fprintf(os.Stderr, "aggbench: store: quarantined %d corrupt object(s)\n", c)
+		}
 	}
 
 	switch {
@@ -189,6 +271,22 @@ func main() {
 		}
 	default:
 		fmt.Printf("regenerated %d experiment(s) in %v (wall clock)\n",
-			ran, time.Since(start).Round(time.Millisecond))
+			len(selected), time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runExperiment converts a failed run's panic (how experiments.plan surfaces
+// sim failures and cache errors) into an error, so main can exit with the
+// run-failure code instead of a stack trace.
+func runExperiment(e experiments.Experiment, opts experiments.Options) (t experiments.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(error); ok {
+				err = re
+			} else {
+				err = fmt.Errorf("%v", r)
+			}
+		}
+	}()
+	return e.Run(opts), nil
 }

@@ -41,6 +41,13 @@
 // -json emits any single, mesh or scenario run as one machine-readable
 // document; -trace (optionally narrowed by -trace-nodes) streams the
 // channel timeline of single, mesh and scenario runs to stderr.
+//
+// Sweeps and scenario runs are crash-safe with -store DIR: every completed
+// cell is flushed durably as it lands, and -resume serves already-stored
+// cells instead of re-running them (see README "Crash-safe sweeps");
+// -retries N re-executes transient failures. Exit codes: 0 success; 1 a
+// run failed (or the store/output did); 2 flag/usage error — usage errors
+// never touch the store.
 package main
 
 import (
@@ -59,6 +66,7 @@ import (
 	"aggmac/internal/mac"
 	"aggmac/internal/phy"
 	"aggmac/internal/runner"
+	"aggmac/internal/store"
 	// Aliased: the -traffic flag variable shadows the package name here.
 	wl "aggmac/internal/traffic"
 )
@@ -124,6 +132,9 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "sweep: emit the result table as JSON")
 		csvOut   = flag.Bool("csv", false, "sweep: emit the result table as CSV")
 		progress = flag.Bool("progress", false, "sweep: report each completed run on stderr")
+		storeDir = flag.String("store", "", "durable results store directory (sweep and scenario modes); completed cells are flushed there as they land")
+		resume   = flag.Bool("resume", false, "serve already-stored cells from -store instead of re-running them")
+		retries  = flag.Int("retries", 0, "extra attempts for transiently failed runs (wall-budget timeouts), with capped exponential backoff")
 		verbose  = flag.Bool("v", false, "print per-node detail (single run)")
 		doTrace  = flag.Bool("trace", false, "stream the channel timeline to stderr (single, mesh and scenario runs)")
 		traceNds = flag.String("trace-nodes", "", "with -trace: comma list of node IDs; only events touching them are traced")
@@ -173,6 +184,15 @@ func main() {
 	if *jsonOut && *csvOut {
 		fatal(fmt.Errorf("-json and -csv are mutually exclusive"))
 	}
+	if *resume && *storeDir == "" {
+		fatal(fmt.Errorf("-resume requires -store"))
+	}
+	if *retries < 0 {
+		fatal(fmt.Errorf("-retries must be >= 0"))
+	}
+	if *storeDir != "" && *doTrace {
+		fatal(fmt.Errorf("-store cannot cache traced runs (drop -trace)"))
+	}
 	traceNodes, err := parseTraceNodes(*traceNds)
 	if err != nil {
 		fatal(err)
@@ -215,6 +235,7 @@ func main() {
 			sc: sc, schemes: schemes, seed: seedOverride,
 			parallel: *parallel, jsonOut: *jsonOut, progress: *progress,
 			verbose: *verbose, traceTo: traceTo, traceNodes: traceNodes,
+			st: openStore(*storeDir), resume: *resume, retries: *retries,
 		})
 		return
 	}
@@ -261,6 +282,7 @@ func main() {
 			sc: sc, schemes: schemes,
 			parallel: *parallel, jsonOut: *jsonOut, progress: *progress,
 			verbose: *verbose, traceTo: traceTo, traceNodes: traceNodes,
+			st: openStore(*storeDir), resume: *resume, retries: *retries,
 		})
 		return
 	}
@@ -292,6 +314,9 @@ func main() {
 		}
 		if *csvOut {
 			fatal(fmt.Errorf("-csv is not supported in -topo mode"))
+		}
+		if *storeDir != "" {
+			fatal(fmt.Errorf("-store applies to sweeps and scenario runs, not single mesh runs"))
 		}
 		if *shards < 0 || *shards > core.MaxShards {
 			fatal(fmt.Errorf("-shards must be in 0..%d", core.MaxShards))
@@ -344,12 +369,16 @@ func main() {
 			flood: *flood, parallel: *parallel,
 			noFwd: *noFwd, blockAck: *blockAck, autoAgg: *autoAgg, bcRate: fixedBC,
 			jsonOut: *jsonOut, csvOut: *csvOut, progress: *progress,
+			st: openStore(*storeDir), resume: *resume, retries: *retries,
 		})
 		return
 	}
 
 	if *csvOut {
 		fatal(fmt.Errorf("-csv requires a parameter sweep (comma-list -scheme/-rate/-hops or -reps > 1)"))
+	}
+	if *storeDir != "" {
+		fatal(fmt.Errorf("-store applies to sweeps and scenario runs, not single runs"))
 	}
 	runSingle(singleArgs{
 		traffic: *traffic, scheme: schemes[0], rate: rates[0], hops: hops[0],
@@ -360,9 +389,33 @@ func main() {
 	})
 }
 
+// fatal reports a flag/validation error and exits with the usage code (2).
+// Usage errors never create, lock or mutate the results store.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "aggsim:", err)
 	os.Exit(2)
+}
+
+// runFail reports a failed or aborted run (sim error, store or output I/O)
+// and exits with the run-failure code (1), distinct from usage errors so
+// scripts can tell "retry this" from "fix the invocation".
+func runFail(err error) {
+	fmt.Fprintln(os.Stderr, "aggsim:", err)
+	os.Exit(1)
+}
+
+// openStore opens (creating if needed) the durable results store. It must
+// only be called after every flag validation has passed: usage errors must
+// not touch the store. A nil return means no -store was given.
+func openStore(dir string) *store.Store {
+	if dir == "" {
+		return nil
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		runFail(err)
+	}
+	return st
 }
 
 type sweepArgs struct {
@@ -380,6 +433,9 @@ type sweepArgs struct {
 	bcRate            *phy.Rate
 	jsonOut, csvOut   bool
 	progress          bool
+	st                *store.Store
+	resume            bool
+	retries           int
 }
 
 func runSweep(a sweepArgs) {
@@ -392,14 +448,36 @@ func runSweep(a sweepArgs) {
 		FixedBroadcastRate: a.bcRate,
 	}
 	specs := sw.Specs()
-	pool := runner.Pool{Workers: a.parallel}
+	pool := runner.Pool{Workers: a.parallel,
+		Retry: runner.RetryPolicy{MaxAttempts: a.retries + 1}}
 	if a.progress {
 		pool.OnResult = runner.StderrProgress
+	}
+	var cached, executed, retried int
+	if a.st != nil {
+		pool.Cache = a.st
+		pool.Resume = a.resume
+		// OnResult calls are serialized by the pool, so plain counters are
+		// safe; chain the user's -progress reporter behind the counting.
+		user := pool.OnResult
+		pool.OnResult = func(p runner.Progress) {
+			if p.Cached {
+				cached++
+			} else {
+				executed++
+				if p.Attempts > 1 {
+					retried++
+				}
+			}
+			if user != nil {
+				user(p)
+			}
+		}
 	}
 	start := time.Now()
 	results, err := pool.Run(context.Background(), specs)
 	if err != nil {
-		fatal(err)
+		runFail(err)
 	}
 	failed := 0
 	for _, r := range results {
@@ -412,19 +490,34 @@ func runSweep(a sweepArgs) {
 	switch {
 	case a.jsonOut:
 		if err := experiments.WriteJSON(os.Stdout, []experiments.Table{tab}); err != nil {
-			fatal(err)
+			runFail(err)
 		}
 	case a.csvOut:
 		if err := experiments.WriteCSV(os.Stdout, []experiments.Table{tab}); err != nil {
-			fatal(err)
+			runFail(err)
 		}
 	default:
 		fmt.Print(tab.Format())
 		fmt.Printf("swept %d run(s) in %v (wall clock)\n", len(specs), time.Since(start).Round(time.Millisecond))
 	}
+	if a.st != nil {
+		storeSummary(a.st, cached, executed, retried)
+		a.st.Close()
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "aggsim: %d of %d runs failed\n", failed, len(specs))
 		os.Exit(1)
+	}
+}
+
+// storeSummary prints the resume accounting on stderr (stdout stays
+// byte-identical with and without a warm store; CI's resume gate relies on
+// that).
+func storeSummary(st *store.Store, cached, executed, retried int) {
+	fmt.Fprintf(os.Stderr, "aggsim: store %s: %d cell(s) cached, %d executed, %d retried\n",
+		st.Dir(), cached, executed, retried)
+	if c := st.Stats().Corrupt; c > 0 {
+		fmt.Fprintf(os.Stderr, "aggsim: store: quarantined %d corrupt object(s)\n", c)
 	}
 }
 

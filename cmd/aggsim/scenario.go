@@ -18,6 +18,7 @@ import (
 	"aggmac/internal/core"
 	"aggmac/internal/mac"
 	"aggmac/internal/runner"
+	"aggmac/internal/store"
 	"aggmac/internal/traffic"
 )
 
@@ -48,6 +49,9 @@ type scenarioArgs struct {
 	verbose    bool
 	traceTo    io.Writer
 	traceNodes []int
+	st         *store.Store // nil = no durable store
+	resume     bool
+	retries    int
 }
 
 // adhocScenario assembles a Scenario from CLI flags: the -topo mesh flags
@@ -129,16 +133,36 @@ func runScenarios(a scenarioArgs) {
 			Scenario: &cfg,
 		}
 	}
-	pool := runner.Pool{Workers: a.parallel}
+	pool := runner.Pool{Workers: a.parallel,
+		Retry: runner.RetryPolicy{MaxAttempts: a.retries + 1}}
 	if a.progress {
 		pool.OnResult = runner.StderrProgress
+	}
+	var cached, executed, retried int
+	if a.st != nil {
+		pool.Cache = a.st
+		pool.Resume = a.resume
+		user := pool.OnResult
+		pool.OnResult = func(p runner.Progress) {
+			if p.Cached {
+				cached++
+			} else {
+				executed++
+				if p.Attempts > 1 {
+					retried++
+				}
+			}
+			if user != nil {
+				user(p)
+			}
+		}
 	}
 	var results []runner.Result
 	if a.traceTo == nil {
 		var err error
 		results, err = pool.Run(context.Background(), specs)
 		if err != nil {
-			fatal(err)
+			runFail(err)
 		}
 	} else {
 		// Tracing: concurrent runs would interleave unlabeled timelines
@@ -148,14 +172,18 @@ func runScenarios(a scenarioArgs) {
 			fmt.Fprintf(a.traceTo, "=== trace %s\n", spec.Key)
 			rs, err := pool.Run(context.Background(), []runner.Spec{spec})
 			if err != nil {
-				fatal(err)
+				runFail(err)
 			}
 			results = append(results, rs...)
 		}
 	}
+	if a.st != nil {
+		storeSummary(a.st, cached, executed, retried)
+		a.st.Close()
+	}
 	for _, r := range results {
 		if r.Err != nil {
-			fatal(fmt.Errorf("run %s failed: %v", r.Key, r.Err))
+			runFail(fmt.Errorf("run %s failed: %v", r.Key, r.Err))
 		}
 	}
 
@@ -230,7 +258,7 @@ func writeJSON(v any) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		fatal(err)
+		runFail(err)
 	}
 }
 

@@ -54,6 +54,17 @@ type Options struct {
 	Workers int
 	// Progress, when set, receives one callback per completed run.
 	Progress func(runner.Progress)
+	// Cache, when set, durably persists each completed run as it lands;
+	// with Resume also set, previously completed cells are served from it
+	// instead of re-running. Cached cells are byte-identical to fresh ones
+	// (runs are pure functions of their spec and the store round-trip is
+	// lossless), so tables regenerate incrementally from a warm store.
+	Cache runner.Cache
+	// Resume enables cache lookups (writes happen whenever Cache is set).
+	Resume bool
+	// Retry re-executes transient per-run failures (wall-budget timeouts)
+	// with capped exponential backoff; zero value never retries.
+	Retry runner.RetryPolicy
 	// MeshSizes overrides the scaling experiment's network sizes
 	// (default 25, 100, 400); cmd/aggbench's -mesh-sizes flag sets it.
 	MeshSizes []int
@@ -148,7 +159,8 @@ func (p *plan) scenario(key string, cfg core.ScenarioConfig, sink func(core.Scen
 // that fails (sim panic) propagates as a panic, matching what the old
 // serial loops would have done.
 func (p *plan) run(o Options) {
-	pool := runner.Pool{Workers: o.Workers, OnResult: o.Progress}
+	pool := runner.Pool{Workers: o.Workers, OnResult: o.Progress,
+		Cache: o.Cache, Resume: o.Resume, Retry: o.Retry}
 	res, err := pool.Run(context.Background(), p.specs)
 	if err != nil {
 		panic(err)

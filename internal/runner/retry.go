@@ -1,0 +1,124 @@
+// Failure classification and the retry policy: the crash-safe execution
+// layer re-runs only failures that a retry could plausibly clear (a
+// wall-clock watchdog firing on a loaded machine, a context deadline) and
+// never failures that are a pure function of the spec (a sim panic, a
+// malformed config) — re-running those would reproduce the same error while
+// hiding how often it happens. Because every run is a pure function of its
+// spec, a retried run is bit-identical to a first-try run: same derived
+// seed, same RNG stream, same result (pinned by test).
+package runner
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"aggmac/internal/sim"
+)
+
+// ErrClass partitions run failures by whether re-execution could succeed.
+type ErrClass int
+
+const (
+	// ClassNone: no error.
+	ClassNone ErrClass = iota
+	// ClassTransient: the run was cut short by wall-clock pressure (wall
+	// budget, context deadline) or cancellation; a retry may complete.
+	ClassTransient
+	// ClassDeterministic: the failure is a function of the spec (panic,
+	// validation error); a retry would reproduce it exactly.
+	ClassDeterministic
+)
+
+func (c ErrClass) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassTransient:
+		return "transient"
+	case ClassDeterministic:
+		return "deterministic"
+	}
+	return "unknown"
+}
+
+// Classify maps a run error to its class. Wall-budget timeouts keep their
+// typed identity through the runner's panic recovery (wrapped with %w), so
+// the classification survives message formatting.
+func Classify(err error) ErrClass {
+	if err == nil {
+		return ClassNone
+	}
+	var wb *sim.WallBudgetError
+	if errors.As(err, &wb) {
+		return ClassTransient
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return ClassTransient
+	}
+	return ClassDeterministic
+}
+
+// RetryPolicy bounds re-execution of transient failures with capped
+// exponential backoff. The zero value never retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total execution budget per spec, including the
+	// first try; values <= 1 disable retries.
+	MaxAttempts int
+	// BaseBackoff is the wait before the first retry; each further retry
+	// doubles it, capped at MaxBackoff. Zero values default to 100 ms and
+	// 5 s when MaxAttempts enables retries.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Sleep is a test seam; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the wait after the attempt-th execution failed
+// (attempt is 1-based).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxB := p.MaxBackoff
+	if maxB <= 0 {
+		maxB = 5 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= maxB {
+			return maxB
+		}
+	}
+	if d > maxB {
+		return maxB
+	}
+	return d
+}
+
+func (p RetryPolicy) sleep(d time.Duration) {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Cache is a durable results store consulted and fed by the Pool (see
+// internal/store for the on-disk implementation). Lookup returns the
+// previously stored result for a spec's cell; Store persists a completed
+// one. Implementations must be safe for concurrent use and must only be
+// handed successful results.
+type Cache interface {
+	Lookup(Spec) (Result, bool, error)
+	Store(Spec, Result) error
+}

@@ -1,0 +1,307 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aggmac/internal/core"
+	"aggmac/internal/mac"
+	"aggmac/internal/phy"
+	"aggmac/internal/sim"
+)
+
+func TestClassify(t *testing.T) {
+	wb := &sim.WallBudgetError{Budget: time.Second}
+	cases := []struct {
+		name string
+		err  error
+		want ErrClass
+	}{
+		{"nil", nil, ClassNone},
+		{"wall budget", wb, ClassTransient},
+		{"wrapped wall budget", fmt.Errorf("run %q timed out: %w", "x", wb), ClassTransient},
+		{"deadline", context.DeadlineExceeded, ClassTransient},
+		{"canceled", context.Canceled, ClassTransient},
+		{"panic", errors.New("runner: run \"x\" panicked: boom"), ClassDeterministic},
+		{"validation", errors.New("spec must set exactly one"), ClassDeterministic},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestErrClassString(t *testing.T) {
+	for c, want := range map[ErrClass]string{
+		ClassNone: "none", ClassTransient: "transient", ClassDeterministic: "deterministic",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseBackoff: 100 * time.Millisecond, MaxBackoff: 500 * time.Millisecond}
+	want := []time.Duration{100, 200, 400, 500, 500}
+	for i, w := range want {
+		if got := p.backoff(i + 1); got != w*time.Millisecond {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	// Zero values fall back to the documented defaults.
+	var z RetryPolicy
+	if got := z.backoff(1); got != 100*time.Millisecond {
+		t.Errorf("zero policy backoff(1) = %v, want 100ms", got)
+	}
+	if got := z.backoff(20); got != 5*time.Second {
+		t.Errorf("zero policy backoff(20) = %v, want the 5s cap", got)
+	}
+}
+
+// transientErr builds an error that classifies as transient.
+func transientErr() error {
+	return fmt.Errorf("timed out: %w", &sim.WallBudgetError{Budget: time.Millisecond})
+}
+
+// TestRetryTransient pins the whole retry path: a spec that fails
+// transiently twice succeeds on the third attempt, Attempts records the
+// count, and the backoff sequence is the documented doubling.
+func TestRetryTransient(t *testing.T) {
+	var mu sync.Mutex
+	execs := 0
+	var slept []time.Duration
+	pool := Pool{
+		Workers: 1,
+		Retry: RetryPolicy{
+			MaxAttempts: 4,
+			Sleep:       func(d time.Duration) { mu.Lock(); slept = append(slept, d); mu.Unlock() },
+		},
+		execute: func(i int, s Spec) Result {
+			mu.Lock()
+			execs++
+			n := execs
+			mu.Unlock()
+			if n < 3 {
+				return Result{Index: i, Key: s.Key, Err: transientErr()}
+			}
+			return Result{Index: i, Key: s.Key, TCP: &core.TCPResult{ThroughputMbps: 1.5}}
+		},
+	}
+	res, err := pool.Run(context.Background(), []Spec{{Key: "cell"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Err != nil {
+		t.Fatalf("expected success after retries, got %v", r.Err)
+	}
+	if r.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", r.Attempts)
+	}
+	if want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}; !reflect.DeepEqual(slept, want) {
+		t.Errorf("backoff sequence = %v, want %v", slept, want)
+	}
+}
+
+// TestNoRetryDeterministic: deterministic failures execute exactly once and
+// keep their original message — retrying them would only reproduce the
+// error while hiding how often it fires.
+func TestNoRetryDeterministic(t *testing.T) {
+	execs := 0
+	pool := Pool{
+		Workers: 1,
+		Retry:   RetryPolicy{MaxAttempts: 5, Sleep: func(time.Duration) {}},
+		execute: func(i int, s Spec) Result {
+			execs++
+			return Result{Index: i, Key: s.Key, Err: errors.New("sim panicked: divide by zero")}
+		},
+	}
+	res, err := pool.Run(context.Background(), []Spec{{Key: "cell"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if execs != 1 || r.Attempts != 1 {
+		t.Errorf("executions = %d, Attempts = %d; want 1, 1", execs, r.Attempts)
+	}
+	if r.Err == nil || r.Err.Error() != "sim panicked: divide by zero" {
+		t.Errorf("error message not preserved: %v", r.Err)
+	}
+	if r.ErrClass() != ClassDeterministic {
+		t.Errorf("ErrClass = %v, want deterministic", r.ErrClass())
+	}
+}
+
+// TestRetryExhaustion: a persistently transient failure stops at
+// MaxAttempts and reports the final error with the attempt count.
+func TestRetryExhaustion(t *testing.T) {
+	execs := 0
+	pool := Pool{
+		Workers: 1,
+		Retry:   RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}},
+		execute: func(i int, s Spec) Result {
+			execs++
+			return Result{Index: i, Key: s.Key, Err: transientErr()}
+		},
+	}
+	res, _ := pool.Run(context.Background(), []Spec{{Key: "cell"}})
+	r := res[0]
+	if execs != 3 || r.Attempts != 3 {
+		t.Errorf("executions = %d, Attempts = %d; want 3, 3", execs, r.Attempts)
+	}
+	if r.ErrClass() != ClassTransient {
+		t.Errorf("ErrClass = %v, want transient", r.ErrClass())
+	}
+}
+
+// TestRetriedRunBitIdentical pins the determinism contract the store relies
+// on: a run that succeeds on attempt N is bit-identical to one that
+// succeeds on attempt 1, because the spec (and the derived seed) never
+// changes between attempts.
+func TestRetriedRunBitIdentical(t *testing.T) {
+	spec := smallSweep().Specs()[0]
+	direct := runOne(0, spec)
+	if direct.Err != nil {
+		t.Fatal(direct.Err)
+	}
+	execs := 0
+	pool := Pool{
+		Workers: 1,
+		Retry:   RetryPolicy{MaxAttempts: 2, Sleep: func(time.Duration) {}},
+		execute: func(i int, s Spec) Result {
+			execs++
+			if execs == 1 {
+				return Result{Index: i, Key: s.Key, Err: transientErr()}
+			}
+			return runOne(i, s)
+		},
+	}
+	res, err := pool.Run(context.Background(), []Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	if res[0].Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2", res[0].Attempts)
+	}
+	if !reflect.DeepEqual(res[0].TCP, direct.TCP) {
+		t.Error("retried run's result differs from a first-try run")
+	}
+}
+
+// TestWallBudgetClassifiesTransient drives a real mesh run into its
+// watchdog and checks the resulting error classifies as transient end to
+// end — through the runner's panic recovery and %w wrapping.
+func TestWallBudgetClassifiesTransient(t *testing.T) {
+	spec := Spec{
+		Key: "mesh/tiny",
+		Mesh: &core.MeshTCPConfig{
+			Scheme: mac.BA, Rate: phy.Rate1300k, Topology: core.MeshGrid,
+			Nodes: 25, Flows: 2, FileBytes: 50000, MaxAggBytes: 5120, Seed: 1,
+		},
+		Timeout: time.Nanosecond,
+	}
+	res := runOne(0, spec)
+	if res.Err == nil {
+		t.Fatal("expected the 1ns wall budget to fire")
+	}
+	if got := Classify(res.Err); got != ClassTransient {
+		t.Errorf("Classify(%v) = %v, want transient", res.Err, got)
+	}
+}
+
+// memCache is an in-memory runner.Cache for pool-level tests.
+type memCache struct {
+	mu      sync.Mutex
+	data    map[string]Result
+	stores  int
+	lookups int
+}
+
+func newMemCache() *memCache { return &memCache{data: map[string]Result{}} }
+
+func (c *memCache) Lookup(s Spec) (Result, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lookups++
+	r, ok := c.data[s.Key]
+	return r, ok, nil
+}
+
+func (c *memCache) Store(s Spec, r Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stores++
+	c.data[s.Key] = r
+	return nil
+}
+
+// TestPoolCacheWriteThroughAndResume: the first sweep executes everything
+// and feeds the cache; a second pool with Resume serves every cell from it,
+// bit-identical, with Cached/Attempts reflecting the hit.
+func TestPoolCacheWriteThroughAndResume(t *testing.T) {
+	specs := smallSweep().Specs()
+	cache := newMemCache()
+
+	cold := Pool{Workers: 2, Cache: cache}
+	first, err := cold.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.stores != len(specs) {
+		t.Fatalf("cache received %d stores, want %d", cache.stores, len(specs))
+	}
+	for _, r := range first {
+		if r.Cached || r.Attempts != 1 {
+			t.Fatalf("cold run %s: Cached=%v Attempts=%d, want fresh execution", r.Key, r.Cached, r.Attempts)
+		}
+	}
+
+	warm := Pool{Workers: 2, Cache: cache, Resume: true}
+	second, err := warm.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.stores != len(specs) {
+		t.Fatalf("resume re-stored cells: %d stores after warm run", cache.stores)
+	}
+	for i, r := range second {
+		if !r.Cached || r.Attempts != 0 {
+			t.Errorf("warm run %s: Cached=%v Attempts=%d, want cache hit", r.Key, r.Cached, r.Attempts)
+		}
+		if !reflect.DeepEqual(r.TCP, first[i].TCP) {
+			t.Errorf("warm run %s: result differs from cold run", r.Key)
+		}
+	}
+}
+
+// failingCache always errors; the sweep must still complete every run and
+// surface the first cache error afterwards.
+type failingCache struct{}
+
+func (failingCache) Lookup(Spec) (Result, bool, error) { return Result{}, false, nil }
+func (failingCache) Store(Spec, Result) error          { return errors.New("disk full") }
+
+func TestCacheFailureDoesNotSinkSweep(t *testing.T) {
+	specs := smallSweep().Specs()[:2]
+	pool := Pool{Workers: 2, Cache: failingCache{}}
+	res, err := pool.Run(context.Background(), specs)
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("expected the cache error surfaced, got %v", err)
+	}
+	for _, r := range res {
+		if r.Err != nil || r.TCP == nil {
+			t.Errorf("run %s did not complete despite cache failure: %v", r.Key, r.Err)
+		}
+	}
+}

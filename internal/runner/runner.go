@@ -14,6 +14,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"aggmac/internal/core"
+	"aggmac/internal/sim"
 	"aggmac/internal/traffic"
 )
 
@@ -51,9 +53,21 @@ type Result struct {
 	// Wall is the wall-clock cost of this run (not simulated time).
 	Wall time.Duration
 	// Err is non-nil when the spec was malformed, the sim panicked, or the
-	// sweep was cancelled before this run started.
+	// sweep was cancelled before this run started. Classify(Err) (also
+	// exposed as ErrClass) separates transient failures — wall-budget
+	// timeouts a retry could clear — from deterministic ones.
 	Err error
+	// Attempts counts how many times the spec executed: 1 for a first-try
+	// success or a deterministic failure, >1 when transient failures were
+	// retried, 0 when the result was served from the cache.
+	Attempts int
+	// Cached reports the result was served from the Pool's Cache without
+	// executing; Wall is then ~0 and Attempts 0.
+	Cached bool
 }
+
+// ErrClass classifies the result's error (see Classify).
+func (r Result) ErrClass() ErrClass { return Classify(r.Err) }
 
 // ThroughputMbps returns the run's headline metric: end-to-end TCP goodput,
 // UDP sink goodput, or a mesh run's aggregate goodput across its flows.
@@ -79,11 +93,20 @@ type Progress struct {
 	Index int
 	Key   string
 	Wall  time.Duration
+	// Cached and Attempts mirror the completed Result, so reporters (and
+	// the CLIs' resume summaries) can distinguish cache hits and retried
+	// cells without holding the results slice.
+	Cached   bool
+	Attempts int
 }
 
 // StderrProgress is the standard per-run progress reporter the CLIs wire
 // to -progress: one "[done/total] key (wall)" line per completed run.
 func StderrProgress(p Progress) {
+	if p.Cached {
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s (cached)\n", p.Done, p.Total, p.Key)
+		return
+	}
 	fmt.Fprintf(os.Stderr, "[%d/%d] %s (%v)\n", p.Done, p.Total, p.Key, p.Wall.Round(time.Millisecond))
 }
 
@@ -94,6 +117,21 @@ type Pool struct {
 	// OnResult, when set, is called after each run completes, in completion
 	// order. Calls are serialized; the callback must not block for long.
 	OnResult func(Progress)
+	// Cache, when set, receives every successful result as it completes —
+	// durably, before the sweep moves on, so a killed sweep keeps its
+	// finished cells. With Resume also set, Cache is consulted before
+	// executing and hits skip execution entirely.
+	Cache Cache
+	// Resume enables cache lookups (Cache writes happen regardless).
+	Resume bool
+	// Retry re-executes transient failures (wall-budget timeouts, context
+	// deadlines) with capped exponential backoff; the zero value never
+	// retries. Retried runs are bit-identical to first-try runs: the spec —
+	// and with it the derived seed — never changes between attempts.
+	Retry RetryPolicy
+
+	// execute is a test seam for fault injection; nil means runOne.
+	execute func(int, Spec) Result
 }
 
 func (p *Pool) workers(n int) int {
@@ -114,7 +152,9 @@ func (p *Pool) workers(n int) int {
 // always has len(specs) entries; on cancellation the unstarted entries
 // carry ctx's error, and Run's own error is ctx.Err(). Individual run
 // failures (malformed spec, sim panic) land in Result.Err, not in Run's
-// error, so one bad cell cannot sink a sweep.
+// error, so one bad cell cannot sink a sweep. A failing Cache is also not
+// allowed to sink the sweep: every run still executes, and the first cache
+// error is returned after completion so callers can fail loudly.
 func (p *Pool) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 	results := make([]Result, len(specs))
 	if len(specs) == 0 {
@@ -136,6 +176,9 @@ func (p *Pool) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	done := 0
+	var cacheErr error
+	var cacheErrOnce sync.Once
+	noteCacheErr := func(err error) { cacheErrOnce.Do(func() { cacheErr = err }) }
 	for w := p.workers(len(specs)); w > 0; w-- {
 		wg.Add(1)
 		go func() {
@@ -144,12 +187,20 @@ func (p *Pool) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 				if ctx.Err() != nil {
 					return
 				}
-				results[i] = runOne(i, specs[i])
+				results[i] = p.runSpec(ctx, i, specs[i], noteCacheErr)
+				// Flush the completed cell durably before reporting it, so
+				// a kill at any point loses at most the in-flight runs.
+				if p.Cache != nil && results[i].Err == nil && !results[i].Cached {
+					if err := p.Cache.Store(specs[i], results[i]); err != nil {
+						noteCacheErr(err)
+					}
+				}
 				if p.OnResult != nil {
 					mu.Lock()
 					done++
 					p.OnResult(Progress{Done: done, Total: len(specs),
-						Index: i, Key: specs[i].Key, Wall: results[i].Wall})
+						Index: i, Key: specs[i].Key, Wall: results[i].Wall,
+						Cached: results[i].Cached, Attempts: results[i].Attempts})
 					mu.Unlock()
 				}
 			}
@@ -166,20 +217,79 @@ func (p *Pool) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 		}
 		return results, err
 	}
+	if cacheErr != nil {
+		return results, fmt.Errorf("runner: results cache: %w", cacheErr)
+	}
 	return results, nil
 }
 
+// runSpec serves one spec from the cache when allowed, otherwise executes
+// it, retrying transient failures under the pool's policy. The spec — and
+// with it the derived seed — is identical on every attempt, so a retried
+// run reproduces the first attempt's result bit for bit.
+func (p *Pool) runSpec(ctx context.Context, i int, s Spec, noteCacheErr func(error)) Result {
+	if p.Cache != nil && p.Resume {
+		switch r, ok, err := p.Cache.Lookup(s); {
+		case err != nil:
+			noteCacheErr(err)
+		case ok:
+			r.Index = i
+			r.Key = s.Key
+			r.Cached = true
+			r.Attempts = 0
+			r.Wall = 0
+			return r
+		}
+	}
+	exec := p.execute
+	if exec == nil {
+		exec = runOne
+	}
+	var res Result
+	for attempt := 1; ; attempt++ {
+		res = exec(i, s)
+		res.Attempts = attempt
+		if res.Err == nil || Classify(res.Err) != ClassTransient ||
+			attempt >= p.Retry.maxAttempts() || ctx.Err() != nil {
+			return res
+		}
+		p.Retry.sleep(p.Retry.backoff(attempt))
+	}
+}
+
 // runOne executes a single spec, converting panics into Result.Err so a
-// diverging cell reports instead of killing the whole sweep.
+// diverging cell reports instead of killing the whole sweep. Error panic
+// values are wrapped with %w, so a wall-budget timeout keeps its typed
+// identity (*sim.WallBudgetError) and classifies as transient; and a panic
+// recovered after an error was already recorded appends to it rather than
+// overwriting it — a later watchdog fire can never silently eat the
+// original message.
 func runOne(i int, s Spec) (res Result) {
 	start := time.Now()
 	res = Result{Index: i, Key: s.Key}
 	defer func() {
 		res.Wall = time.Since(start)
-		if r := recover(); r != nil {
-			res.Err = fmt.Errorf("runner: run %q panicked: %v", s.Key, r)
-			res.TCP, res.UDP, res.Mesh, res.Scenario = nil, nil, nil, nil
+		r := recover()
+		if r == nil {
+			return
 		}
+		res.TCP, res.UDP, res.Mesh, res.Scenario = nil, nil, nil, nil
+		if res.Err != nil {
+			// Keep the first error primary (it drives classification);
+			// record the panic alongside instead of replacing it.
+			res.Err = fmt.Errorf("%w (followed by panic: %v)", res.Err, r)
+			return
+		}
+		if err, ok := r.(error); ok {
+			var wb *sim.WallBudgetError
+			if errors.As(err, &wb) {
+				res.Err = fmt.Errorf("runner: run %q timed out: %w", s.Key, err)
+			} else {
+				res.Err = fmt.Errorf("runner: run %q panicked: %w", s.Key, err)
+			}
+			return
+		}
+		res.Err = fmt.Errorf("runner: run %q panicked: %v", s.Key, r)
 	}()
 	set := 0
 	for _, present := range []bool{s.TCP != nil, s.UDP != nil, s.Mesh != nil, s.Scenario != nil} {

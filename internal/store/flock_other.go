@@ -1,0 +1,34 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// acquireLock on platforms without flock falls back to an O_EXCL lock
+// file. Unlike flock it is not self-releasing on SIGKILL; the error
+// message tells the operator which file to remove after a crash.
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("%w (remove %s if the previous run crashed)", ErrLocked, path)
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+// releaseLock removes the lock file: with O_EXCL semantics the file's
+// existence IS the lock.
+func releaseLock(f *os.File) error {
+	path := f.Name()
+	err := f.Close()
+	if rerr := os.Remove(path); err == nil {
+		err = rerr
+	}
+	return err
+}

@@ -1,0 +1,32 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// acquireLock takes a non-blocking exclusive flock on path. flock locks
+// follow the open file description, so the kernel releases them when the
+// process exits by any means — a SIGKILLed sweep never leaves a stale lock
+// behind, which is exactly what a resumable store needs.
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			return nil, ErrLocked
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+// releaseLock drops the flock by closing the descriptor. The LOCK file
+// itself stays behind — it carries no state, only the lock.
+func releaseLock(f *os.File) error { return f.Close() }
