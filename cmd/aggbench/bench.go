@@ -11,12 +11,14 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"aggmac/internal/core"
 	"aggmac/internal/experiments"
 	"aggmac/internal/mac"
+	"aggmac/internal/medium"
 	"aggmac/internal/phy"
 	"aggmac/internal/traffic"
 )
@@ -50,6 +52,24 @@ func meshCase(name string, cfg core.MeshTCPConfig) benchCase {
 		cfg.Seed = seed
 		res := core.RunMeshTCP(cfg)
 		return res.AggregateMbps, res.Elapsed
+	}}
+}
+
+// mediumTxCase mirrors internal/medium's BenchmarkMediumTx/<name> rows
+// through the shared TxBench harness: per-op cost of one transmission burst
+// on a k×k grid. The workload is built lazily on the first iteration and
+// reused, so — like the Go benchmark — the recorded ns/op and B/op are the
+// steady state, not construction. Seeds are ignored: the workload is
+// deterministic and stateless across bursts.
+func mediumTxCase(name string, k int, dense bool) benchCase {
+	var tb *medium.TxBench
+	return benchCase{Name: name, Run: func(int64) (float64, time.Duration) {
+		if tb == nil {
+			tb = medium.NewTxBench(k, dense)
+		}
+		before := tb.SimNow()
+		tb.Burst()
+		return 0, tb.SimNow() - before
 	}}
 }
 
@@ -100,11 +120,24 @@ func headlineBenches() []benchCase {
 	// highest open-loop rate and its closed-loop population, both under
 	// BA — they price flow arrivals, per-flow sources and FCT accounting
 	// on top of the usual mesh traffic.
-	return append(cases,
+	cases = append(cases,
 		scenarioCase("BenchmarkScenarioOpenBA",
 			experiments.LoadCell(traffic.ModeOpen, mac.BA, 1.0, 0, 0, false)),
 		scenarioCase("BenchmarkScenarioClosedBA",
 			experiments.LoadCell(traffic.ModeClosed, mac.BA, 0, 6, 0, false)))
+	// The medium's transmission-burst micro-benches (see internal/medium
+	// BenchmarkMediumTx): the rows whose B/op the CI bench gate watches for
+	// sparse-table allocation regressions.
+	for _, k := range []int{5, 10, 20} { // N = 25, 100, 400
+		for _, mode := range []struct {
+			name  string
+			dense bool
+		}{{"indexed", false}, {"dense", true}} {
+			cases = append(cases, mediumTxCase(
+				fmt.Sprintf("BenchmarkMediumTx/N%d/%s", k*k, mode.name), k, mode.dense))
+		}
+	}
+	return cases
 }
 
 func measure(bc benchCase) BenchRecord {
@@ -134,9 +167,12 @@ func measure(bc benchCase) BenchRecord {
 	return rec
 }
 
-func writeBenchJSON(w io.Writer) error {
+func writeBenchJSON(w io.Writer, filter string) error {
 	out := make(map[string]BenchRecord)
 	for _, bc := range headlineBenches() {
+		if filter != "" && !strings.Contains(bc.Name, filter) {
+			continue
+		}
 		fmt.Fprintf(os.Stderr, "aggbench: benching %s\n", bc.Name)
 		out[bc.Name] = measure(bc)
 	}

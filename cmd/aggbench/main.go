@@ -87,6 +87,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		benchjson  = flag.Bool("benchjson", false, "run the headline benchmarks and emit name → ns/op, allocs/op, simsec/sec as JSON")
+		benchsel   = flag.String("benchfilter", "", "with -benchjson: run only benches whose name contains this substring (baseline rows are append-only, so new rows are measured alone and merged)")
 		benchfmt   = flag.String("benchfmt", "", "read a -benchjson file and print it in `go test -bench` text form (benchstat input)")
 		meshSizes  = flag.String("mesh-sizes", "", "scaling experiment: comma list of network sizes (default 25,100,400)")
 		meshTopos  = flag.String("mesh-topos", "", "scaling experiment: comma list of topologies: grid|disk|chains (default grid,disk)")
@@ -132,7 +133,7 @@ func main() {
 		return
 	}
 	if *benchjson {
-		if err := writeBenchJSON(os.Stdout); err != nil {
+		if err := writeBenchJSON(os.Stdout, *benchsel); err != nil {
 			fmt.Fprintln(os.Stderr, "aggbench:", err)
 			os.Exit(1)
 		}

@@ -19,6 +19,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"aggmac/internal/faults"
@@ -78,6 +79,18 @@ type MeshTCPConfig struct {
 	// DenseScan forces the medium's O(N) dense-scan oracle instead of the
 	// neighbor index — the baseline the scaling benches compare against.
 	DenseScan bool
+	// SparseRoutes plans flows from BFS hop distances and installs routes
+	// only toward the flows' endpoints (one BFS tree per distinct
+	// endpoint) instead of the generators' all-pairs install — O(D·(N+E))
+	// time and O(D·N) route entries instead of O(N²), the remaining
+	// quadratic startup term at 10k+ nodes. Behaviorally identical for
+	// mesh runs: every packet a run can carry is addressed to a flow
+	// endpoint, so every forwarding decision — including BA's
+	// overheard-broadcast-ACK forwarding — reads the same table entry the
+	// full install would have written (pinned by the sparse-routes
+	// equivalence test). Static topologies only: mobility and fault
+	// recovery rebuild full tables and are rejected.
+	SparseRoutes bool
 	// Shards selects the sharded parallel engine: the mesh is partitioned
 	// into Shards contiguous spatial domains, each running its own event
 	// loop, synchronized conservatively with lookahead ShardLookahead (see
@@ -253,7 +266,8 @@ func (c *MeshTCPConfig) buildMesh() *topology.Mesh {
 			Phy:     c.phyParams(),
 			OptsFor: c.optsFor,
 		},
-		Radio: c.Radio,
+		Radio:       c.Radio,
+		DeferRoutes: c.SparseRoutes,
 	}
 	switch c.Topology {
 	case MeshGrid:
@@ -289,12 +303,13 @@ type meshFlow struct {
 // grid/disk sample distinct multi-hop pairs from a placement-independent
 // stream.
 func (c *MeshTCPConfig) planFlows(m *topology.Mesh) []*meshFlow {
+	dist := c.hopDist(m)
 	var flows []*meshFlow
 	addFlow := func(srv, cli int) {
 		flows = append(flows, &meshFlow{
 			server: network.NodeID(srv),
 			client: network.NodeID(cli),
-			hops:   m.HopDistance(srv, cli),
+			hops:   dist(srv, cli),
 			port:   uint16(8000 + len(flows)),
 		})
 	}
@@ -314,7 +329,7 @@ func (c *MeshTCPConfig) planFlows(m *topology.Mesh) []*meshFlow {
 			// A single chain has no "across", and chains spaced beyond
 			// radio range have no vertical route: a flow that can never
 			// connect would just burn the deadline, so skip it.
-			if srv == cli || m.HopDistance(srv, cli) < 1 {
+			if srv == cli || dist(srv, cli) < 1 {
 				continue
 			}
 			addFlow(srv, cli)
@@ -337,13 +352,53 @@ func (c *MeshTCPConfig) planFlows(m *topology.Mesh) []*meshFlow {
 		if srv == cli || used[[2]int{srv, cli}] {
 			continue
 		}
-		if d := m.HopDistance(srv, cli); d < c.MinHops {
+		if d := dist(srv, cli); d < c.MinHops {
 			continue
 		}
 		used[[2]int{srv, cli}] = true
 		addFlow(srv, cli)
 	}
 	return flows
+}
+
+// hopDist returns the distance function planFlows samples with: the
+// installed-route walk normally, or per-source-cached BFS over the
+// adjacency when SparseRoutes deferred route installation. The two agree
+// exactly — HopDistance walks all-pairs shortest-path routes, so both
+// report the hop-count shortest distance, -1 where unreachable — which is
+// what makes sparse runs plan the identical flow set.
+func (c *MeshTCPConfig) hopDist(m *topology.Mesh) func(a, b int) int {
+	if !c.SparseRoutes {
+		return m.HopDistance
+	}
+	n := len(m.Nodes)
+	adj := m.Adjacency()
+	cache := make(map[int][]int)
+	return func(a, b int) int {
+		d, ok := cache[a]
+		if !ok {
+			d = routing.Distances(n, adj, a)
+			cache[a] = d
+		}
+		return d[b]
+	}
+}
+
+// flowEndpoints returns the sorted distinct node ids appearing as a flow
+// server or client — the only destinations a mesh run ever addresses.
+func flowEndpoints(flows []*meshFlow) []int {
+	seen := make(map[int]bool, 2*len(flows))
+	var ids []int
+	for _, f := range flows {
+		for _, v := range [2]network.NodeID{f.server, f.client} {
+			if !seen[int(v)] {
+				seen[int(v)] = true
+				ids = append(ids, int(v))
+			}
+		}
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // mobilityChurn accumulates the topology-dynamics counters of a run:
@@ -455,6 +510,9 @@ func RunMeshTCP(cfg MeshTCPConfig) MeshResult {
 	if tcfg.MSS == 0 {
 		tcfg = tcp.DefaultConfig()
 	}
+	if cfg.SparseRoutes && (cfg.Mobility != "" || cfg.Faults.Enabled()) {
+		panic("core: SparseRoutes requires a static topology (mobility and fault recovery rebuild full route tables)")
+	}
 	if cfg.Shards > 0 {
 		return runMeshTCPSharded(cfg, tcfg)
 	}
@@ -467,6 +525,9 @@ func RunMeshTCP(cfg MeshTCPConfig) MeshResult {
 		m.Medium.SetObserver(obs)
 	}
 	flows := cfg.planFlows(m)
+	if cfg.SparseRoutes {
+		routing.InstallPathsToward(m.Nodes, m.Adjacency(), flowEndpoints(flows))
+	}
 
 	stacks := make([]*tcp.Stack, len(m.Nodes))
 	for i, node := range m.Nodes {

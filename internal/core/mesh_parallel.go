@@ -154,7 +154,11 @@ func runMeshTCPSharded(cfg MeshTCPConfig, tcfg tcp.Config) MeshResult {
 		node.AttachMAC(mc)
 		nodes[i] = node
 	}
-	routing.InstallShortestPaths(nodes, m0.Adjacency())
+	if cfg.SparseRoutes {
+		routing.InstallPathsToward(nodes, m0.Adjacency(), flowEndpoints(flows))
+	} else {
+		routing.InstallShortestPaths(nodes, m0.Adjacency())
+	}
 
 	stacks := make([]*tcp.Stack, n)
 	for i, node := range nodes {

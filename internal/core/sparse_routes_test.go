@@ -1,0 +1,152 @@
+package core
+
+import (
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"aggmac/internal/mac"
+	"aggmac/internal/phy"
+)
+
+// TestRunMeshTCPSparseRoutesEquivalent pins the SparseRoutes contract: a
+// run that installs routes only toward its flow endpoints is bit-identical
+// to the same run on all-pairs tables. BA is the scheme that stresses it —
+// overheard broadcast ACKs are forwarded by any node with a route — and
+// grid, disk and chains exercise all three flow-planning paths.
+func TestRunMeshTCPSparseRoutesEquivalent(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  MeshTCPConfig
+	}{
+		{"grid", MeshTCPConfig{
+			Scheme: mac.BA, Rate: phy.Rate2600k,
+			Topology: MeshGrid, Nodes: 25, Flows: 4,
+			FileBytes: 8_000, Seed: 3,
+			Deadline: 600 * time.Second,
+		}},
+		{"disk", MeshTCPConfig{
+			Scheme: mac.BA, Rate: phy.Rate2600k,
+			Topology: MeshDisk, Nodes: 30, Flows: 3,
+			FileBytes: 6_000, Seed: 5,
+			Deadline: 600 * time.Second,
+		}},
+		{"chains", MeshTCPConfig{
+			Scheme: mac.UA, Rate: phy.Rate2600k,
+			Topology: MeshChains, Chains: 3, ChainHops: 3, CrossFlows: 1,
+			FileBytes: 6_000, Seed: 2,
+			Deadline: 600 * time.Second,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			full := RunMeshTCP(tc.cfg)
+			cfg := tc.cfg
+			cfg.SparseRoutes = true
+			sparse := RunMeshTCP(cfg)
+			if full.EventsRun != sparse.EventsRun {
+				t.Fatalf("EventsRun diverged: full routes %d, sparse routes %d", full.EventsRun, sparse.EventsRun)
+			}
+			if !reflect.DeepEqual(full, sparse) {
+				t.Fatal("full-route and sparse-route mesh runs diverged")
+			}
+		})
+	}
+}
+
+// TestRunMeshTCPSparseRoutesShardedEquivalent repeats the pin on the
+// sharded engine, whose route install happens on rebuilt nodes.
+func TestRunMeshTCPSparseRoutesShardedEquivalent(t *testing.T) {
+	cfg := MeshTCPConfig{
+		Scheme: mac.BA, Rate: phy.Rate2600k,
+		Topology: MeshGrid, Nodes: 25, Flows: 3,
+		FileBytes: 6_000, Seed: 7, Shards: 2,
+		Deadline: 600 * time.Second,
+	}
+	full := RunMeshTCP(cfg)
+	cfg.SparseRoutes = true
+	sparse := RunMeshTCP(cfg)
+	if !reflect.DeepEqual(full, sparse) {
+		t.Fatal("full-route and sparse-route sharded runs diverged")
+	}
+}
+
+// TestRunMeshTCPSparseRoutesRejectsDynamics: mobility and fault recovery
+// rebuild full route tables, so combining them with SparseRoutes must fail
+// loudly instead of silently measuring a different system.
+func TestRunMeshTCPSparseRoutesRejectsDynamics(t *testing.T) {
+	expectPanic := func(name string, cfg MeshTCPConfig) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: SparseRoutes accepted a dynamic topology", name)
+			}
+		}()
+		RunMeshTCP(cfg)
+	}
+	cfg := quickMeshCfg()
+	cfg.SparseRoutes = true
+	cfg.Mobility = MobilityWaypoint
+	expectPanic("mobility", cfg)
+}
+
+// scaleGated skips t unless AGGMAC_SCALE is set: the large-N tests below
+// take tens of seconds and real memory, so only the CI scale job (and
+// explicit local runs) pay for them.
+func scaleGated(t *testing.T) {
+	if os.Getenv("AGGMAC_SCALE") == "" {
+		t.Skip("set AGGMAC_SCALE=1 to run large-N scale tests")
+	}
+}
+
+// TestMeshSparseVsDenseFullRunN400 is the scale job's full-run equivalence
+// gate: one N=400 scaling cell simulated end to end on the sparse
+// neighbor-indexed table and again on the materialized dense oracle, with
+// every result field compared.
+func TestMeshSparseVsDenseFullRunN400(t *testing.T) {
+	scaleGated(t)
+	cfg := MeshTCPConfig{
+		Scheme: mac.BA, Rate: phy.Rate2600k,
+		Topology: MeshGrid, Nodes: 400, Flows: 33,
+		FileBytes: 30_000, Seed: 1,
+		Deadline: 1200 * time.Second,
+	}
+	fast := RunMeshTCP(cfg)
+	cfg.DenseScan = true
+	dense := RunMeshTCP(cfg)
+	if fast.EventsRun != dense.EventsRun {
+		t.Fatalf("EventsRun diverged: sparse %d, dense %d", fast.EventsRun, dense.EventsRun)
+	}
+	if !reflect.DeepEqual(fast, dense) {
+		t.Fatal("sparse and dense-oracle N=400 full runs diverged")
+	}
+}
+
+// TestLargeGridSmoke is the acceptance smoke for the sparse table: an
+// N=25600 grid mesh must construct and simulate with link-state memory
+// O(N·degree). The interesting assertions are that it finishes at all
+// (construction used to be O(N²) in both time and memory) and that the
+// link store holds only real links — a grid's 8-neighborhood keeps the
+// directed count under 8N where the dense matrix held N² entries.
+func TestLargeGridSmoke(t *testing.T) {
+	scaleGated(t)
+	const n = 25600 // 160×160
+	res := RunMeshTCP(MeshTCPConfig{
+		Scheme: mac.BA, Rate: phy.Rate2600k,
+		Topology: MeshGrid, Nodes: n, Flows: 4,
+		FileBytes: 20_000, Seed: 1,
+		SparseRoutes: true,
+		Deadline:     600 * time.Second,
+	})
+	if res.NodeCount != n {
+		t.Fatalf("built %d nodes, want %d", res.NodeCount, n)
+	}
+	if res.FlowsDone == 0 {
+		t.Fatal("smoke sim completed no flows")
+	}
+	// 160×160 grid, radio range 1.5: interior nodes have degree 8, so the
+	// bidirectional link count sits well under 4N.
+	if res.LinkCount >= 4*n {
+		t.Fatalf("grid wired %d links — not a sparse 8-neighborhood", res.LinkCount)
+	}
+}

@@ -31,12 +31,28 @@ func (o Options) meshTopos() []string {
 }
 
 // scalingFlows sizes the concurrent-flow population for an N-node mesh.
+// The population grows with the mesh up to a cap of 512 concurrent flows:
+// past that, more sessions measure scheduler pressure rather than spectrum
+// behavior, and the per-flow route state would dominate large-N memory.
+// The cap only binds above N=6144, so every size with committed goldens or
+// bench baselines (N ≤ 1600) is untouched.
 func scalingFlows(n int) int {
-	if f := n / 12; f > 4 {
-		return f
+	f := n / 12
+	if f < 4 {
+		return 4
 	}
-	return 4
+	if f > 512 {
+		return 512
+	}
+	return f
 }
+
+// sparseRouteThreshold is the mesh size past which scaling cells switch to
+// endpoint-only route installation: behaviorally identical for static mesh
+// runs (see core.MeshTCPConfig.SparseRoutes) and avoids the O(N²)
+// route-table build that dominated startup at N ≥ 6400. Every size with
+// committed goldens or bench baselines sits below it.
+const sparseRouteThreshold = 2048
 
 // ScalingMesh measures aggregate TCP goodput over generated sparse meshes
 // as the network grows — N ∈ {25, 100, 400} by default — under all three
@@ -80,6 +96,7 @@ func ScalingCell(topo string, scheme mac.Scheme, n int, seed int64) core.MeshTCP
 		Scheme: scheme, Rate: phy.Rate2600k,
 		Topology: topo, Nodes: n, Flows: scalingFlows(n),
 		FileBytes: 30_000, Seed: seed,
-		Deadline: 1200 * time.Second,
+		Deadline:     1200 * time.Second,
+		SparseRoutes: n >= sparseRouteThreshold,
 	}
 }

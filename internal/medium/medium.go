@@ -17,10 +17,17 @@
 // audience — the attached radios in range — exactly once at launch, and
 // carrier sensing, collision marking, delivery and carrier release all
 // iterate that audience. Collision bookkeeping resets through a dirty-mark
-// list, so recycling a transmission is O(marked), not O(N). The dense N×N
-// link matrix remains the source of truth (and the test oracle that the
-// neighbor index is checked against); SetDenseScan restores the seed's
-// scan-every-radio behavior for equivalence tests and benchmarks.
+// list, so recycling a transmission is O(marked), not O(N).
+//
+// Link state itself is sparse: the neighbor lists are the primary store,
+// backed by a hash/offset map from the packed (src, dst) pair to a slot in
+// a flat link-state array, so a directed lookup (connectivity + SNR in one
+// query) is O(1) and total memory is O(N·degree + SNR overrides) — never
+// the N×N matrix the seed kept. SetDenseScan(true) materializes a dense
+// N×N mirror inside the table and routes every lookup through it while
+// reproducing the seed's O(N) scan-every-radio launch/finish costs; it is
+// the equivalence oracle the sparse store is pinned against and the
+// baseline the scaling benchmarks compare with.
 package medium
 
 import (
@@ -64,43 +71,222 @@ type link struct {
 	snrdB     float64
 }
 
-// LinkTable is the connectivity state of a network: the dense N×N directed
-// link matrix plus the incrementally-maintained neighbor index. A table is
-// normally owned by a single Medium, but the sharded engine shares one
-// read-only table across every shard's medium so the O(N²) matrix exists
-// once per run, not once per shard. Sharing contract: connectivity and SNR
-// must not change while more than one medium is attached (the parallel mesh
-// path is static-topology only and enforces this).
+// LinkTable is the connectivity state of a network, stored sparsely: the
+// incrementally-maintained sorted neighbor lists are the primary store, and
+// a hash map from the packed (from, to) pair to a slot in a flat link-state
+// array gives O(1) directed lookup of connectivity and SNR together. Only
+// links that differ from the default — connected, or carrying an SNR
+// override — occupy a slot, so memory is O(N·degree + overrides) instead of
+// the seed's N×N matrix. A table is normally owned by a single Medium, but
+// the sharded engine shares one read-only table across every shard's
+// medium. Sharing contract: connectivity and SNR must not change while more
+// than one medium is attached (the parallel mesh path is static-topology
+// only and enforces this).
 type LinkTable struct {
-	links [][]link
-	// nbrs[src] lists, in ascending node id, every dst with
-	// links[src][dst].connected — the nodes that can hear src. It is
-	// maintained incrementally by the connectivity setters and is what the
-	// hot paths iterate; the dense matrix stays authoritative (the property
-	// tests check the index against it).
+	n int
+	// defSNR is the SNR every non-self link reports until overridden
+	// (params.SNRdB at construction). Self pairs default to 0, matching the
+	// seed's zeroed matrix diagonal.
+	defSNR float64
+	// nbrs[src] lists, in ascending node id, every dst that can hear src.
+	// It is maintained incrementally by the connectivity setters and is
+	// what the hot paths iterate.
 	nbrs [][]NodeID
+	// idx maps pairKey(from, to) to a slot index; slots holds the state and
+	// free recycles released slots. An entry exists iff the link is
+	// connected or its SNR differs from the directed pair's default.
+	idx   map[uint64]int32
+	slots []link
+	free  []int32
+	// directed counts connected directed links (Σ len(nbrs)).
+	directed int
+	// dense, when non-nil, is the materialized N×N mirror that SetDenseScan
+	// maintains: every read routes through it so it is a genuinely
+	// independent oracle for the sparse store, and the dense-scan launch/
+	// finish paths reproduce the seed's costs against it.
+	dense [][]link
+}
+
+// pairKey packs a directed pair into the sparse index key. NodeIDs index
+// in-memory tables and the wire format caps them at 16 bits, so 32 bits per
+// endpoint is never lossy.
+func pairKey(from, to NodeID) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
 }
 
 // NewLinkTable builds a table for n nodes with every link cut; SNR defaults
-// to params.SNRdB once connected.
+// to params.SNRdB once connected. Construction is O(N) — no pair state
+// exists until a setter creates it.
 func NewLinkTable(params phy.Params, n int) *LinkTable {
-	t := &LinkTable{
-		links: make([][]link, n),
-		nbrs:  make([][]NodeID, n),
+	return &LinkTable{
+		n:      n,
+		defSNR: params.SNRdB,
+		nbrs:   make([][]NodeID, n),
+		idx:    make(map[uint64]int32),
 	}
-	for i := range t.links {
-		t.links[i] = make([]link, n)
-		for j := range t.links[i] {
-			if i != j {
-				t.links[i][j].snrdB = params.SNRdB
-			}
-		}
-	}
-	return t
 }
 
 // N returns the number of nodes the table covers.
-func (t *LinkTable) N() int { return len(t.links) }
+func (t *LinkTable) N() int { return t.n }
+
+// DirectedLinks returns the number of connected directed links — the
+// "N·degree" term of the table's memory footprint.
+func (t *LinkTable) DirectedLinks() int { return t.directed }
+
+// defaultSNR is what a pair reports with no slot: params.SNRdB for distinct
+// nodes, 0 for the self pair (the seed never initialized its diagonal).
+func (t *LinkTable) defaultSNR(from, to NodeID) float64 {
+	if from == to {
+		return 0
+	}
+	return t.defSNR
+}
+
+// alloc takes a free slot (or grows the slab) and returns its index.
+func (t *LinkTable) alloc(l link) int32 {
+	if n := len(t.free); n > 0 {
+		s := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.slots[s] = l
+		return s
+	}
+	t.slots = append(t.slots, l)
+	return int32(len(t.slots) - 1)
+}
+
+// release drops a pair whose state is back to default.
+func (t *LinkTable) release(k uint64, s int32) {
+	delete(t.idx, k)
+	t.free = append(t.free, s)
+}
+
+// connected reports whether to can hear from.
+func (t *LinkTable) connected(from, to NodeID) bool {
+	if from == to {
+		return false
+	}
+	if t.dense != nil {
+		return t.dense[from][to].connected
+	}
+	s, ok := t.idx[pairKey(from, to)]
+	return ok && t.slots[s].connected
+}
+
+// snrConnected returns the from→to SNR and whether to can hear from in a
+// single lookup — the hot paths' combined query.
+func (t *LinkTable) snrConnected(from, to NodeID) (float64, bool) {
+	if t.dense != nil {
+		l := &t.dense[from][to]
+		return l.snrdB, from != to && l.connected
+	}
+	if s, ok := t.idx[pairKey(from, to)]; ok {
+		return t.slots[s].snrdB, from != to && t.slots[s].connected
+	}
+	return t.defaultSNR(from, to), false
+}
+
+// snr returns the from→to SNR (the default when no slot exists).
+func (t *LinkTable) snr(from, to NodeID) float64 {
+	v, _ := t.snrConnected(from, to)
+	return v
+}
+
+// setConnectedDirected cuts or restores the from→to direction, keeping the
+// neighbor list, the sparse index, and the dense mirror (when materialized)
+// in step. Reports whether anything changed.
+func (t *LinkTable) setConnectedDirected(from, to NodeID, connected bool) bool {
+	if from == to {
+		return false // self-links are meaningless (Connected is always false)
+	}
+	k := pairKey(from, to)
+	s, ok := t.idx[k]
+	if cur := ok && t.slots[s].connected; cur == connected {
+		return false
+	}
+	if connected {
+		if !ok {
+			s = t.alloc(link{snrdB: t.defSNR})
+			t.idx[k] = s
+		}
+		t.slots[s].connected = true
+		t.nbrs[from] = insertSorted(t.nbrs[from], to)
+		t.directed++
+	} else {
+		t.slots[s].connected = false
+		if t.slots[s].snrdB == t.defSNR {
+			t.release(k, s)
+		}
+		t.nbrs[from] = removeSorted(t.nbrs[from], to)
+		t.directed--
+	}
+	if t.dense != nil {
+		t.dense[from][to].connected = connected
+	}
+	return true
+}
+
+// setSNRDirected overrides the from→to SNR. The override persists across
+// disconnects (the seed's matrix kept SNR when a link was cut); a slot is
+// dropped only when the pair is disconnected and back at its default SNR.
+func (t *LinkTable) setSNRDirected(from, to NodeID, snrdB float64) {
+	k := pairKey(from, to)
+	if s, ok := t.idx[k]; ok {
+		t.slots[s].snrdB = snrdB
+		if !t.slots[s].connected && snrdB == t.defaultSNR(from, to) {
+			t.release(k, s)
+		}
+	} else if snrdB != t.defaultSNR(from, to) {
+		t.idx[k] = t.alloc(link{snrdB: snrdB})
+	}
+	if t.dense != nil {
+		t.dense[from][to].snrdB = snrdB
+	}
+}
+
+// connectFull wires every ordered pair at the default SNR — the paper's
+// single-collision-domain testbed. O(N²) by definition of the topology; the
+// generators for sparse meshes start from NewUnconnected instead.
+func (t *LinkTable) connectFull() {
+	for i := 0; i < t.n; i++ {
+		nb := make([]NodeID, 0, t.n-1)
+		for j := 0; j < t.n; j++ {
+			if i == j {
+				continue
+			}
+			t.idx[pairKey(NodeID(i), NodeID(j))] = t.alloc(link{connected: true, snrdB: t.defSNR})
+			nb = append(nb, NodeID(j))
+		}
+		t.nbrs[i] = nb
+	}
+	t.directed = t.n * (t.n - 1)
+	if t.dense != nil {
+		panic("medium: connectFull on a table with a dense mirror")
+	}
+}
+
+// materializeDense builds the N×N mirror from the sparse state and switches
+// every read onto it. Idempotent.
+func (t *LinkTable) materializeDense() {
+	if t.dense != nil {
+		return
+	}
+	d := make([][]link, t.n)
+	for i := range d {
+		d[i] = make([]link, t.n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j].snrdB = t.defSNR
+			}
+		}
+	}
+	for k, s := range t.idx {
+		d[NodeID(k>>32)][NodeID(uint32(k))] = t.slots[s]
+	}
+	t.dense = d
+}
+
+// dropDense discards the mirror; reads return to the sparse store.
+func (t *LinkTable) dropDense() { t.dense = nil }
 
 // transmission is pooled: Medium recycles finished transmissions (and their
 // audience/collided/interfSNR/spans backing arrays) through a free list, so
@@ -231,14 +417,7 @@ type Medium struct {
 // New creates a medium for up to n nodes, fully connected at params.SNRdB.
 func New(sched *sim.Scheduler, params phy.Params, n int) *Medium {
 	m := newMedium(sched, params, n)
-	for i := range m.tbl.links {
-		for j := range m.tbl.links[i] {
-			if i != j {
-				m.tbl.links[i][j].connected = true
-				m.tbl.nbrs[i] = append(m.tbl.nbrs[i], NodeID(j))
-			}
-		}
-	}
+	m.tbl.connectFull()
 	return m
 }
 
@@ -349,18 +528,7 @@ func (m *Medium) SetConnected(a, b NodeID, connected bool) {
 // (asymmetric links; useful for failure injection). The from-node's
 // neighbor list is updated in place, O(deg).
 func (m *Medium) SetConnectedDirected(from, to NodeID, connected bool) {
-	if from == to {
-		return // self-links are meaningless (Connected is always false)
-	}
-	if m.tbl.links[from][to].connected == connected {
-		return
-	}
-	m.tbl.links[from][to].connected = connected
-	if connected {
-		m.tbl.nbrs[from] = insertSorted(m.tbl.nbrs[from], to)
-	} else {
-		m.tbl.nbrs[from] = removeSorted(m.tbl.nbrs[from], to)
-	}
+	m.tbl.setConnectedDirected(from, to, connected)
 }
 
 // insertSorted adds id to the ascending list (caller guarantees absence).
@@ -385,21 +553,23 @@ func removeSorted(s []NodeID, id NodeID) []NodeID {
 // Zero disables (the default).
 func (m *Medium) SetCapture(marginDB float64) { m.captureDB = marginDB }
 
-// SetSNR overrides the SNR of the bidirectional link between a and b.
+// SetSNR overrides the SNR of the bidirectional link between a and b. The
+// override persists even while the link is cut (mobility raises links back
+// with fresh SNR; fault injection relies on the stored value surviving).
 func (m *Medium) SetSNR(a, b NodeID, snrdB float64) {
-	m.tbl.links[a][b].snrdB = snrdB
-	m.tbl.links[b][a].snrdB = snrdB
+	m.tbl.setSNRDirected(a, b, snrdB)
+	m.tbl.setSNRDirected(b, a, snrdB)
 }
 
 // Table returns the medium's link table, for sharing with NewOnTable.
 func (m *Medium) Table() *LinkTable { return m.tbl }
 
 // Connected reports whether b can hear a.
-func (m *Medium) Connected(a, b NodeID) bool { return a != b && m.tbl.links[a][b].connected }
+func (m *Medium) Connected(a, b NodeID) bool { return m.tbl.connected(a, b) }
 
 // SNR returns the configured SNR of the a→b link in dB (meaningful only
 // while the link is connected; mobility tests use it to audit refreshes).
-func (m *Medium) SNR(a, b NodeID) float64 { return m.tbl.links[a][b].snrdB }
+func (m *Medium) SNR(a, b NodeID) float64 { return m.tbl.snr(a, b) }
 
 // Neighbors returns the nodes that can hear src, in ascending id order.
 // The slice is the medium's live index: callers must not modify it and must
@@ -409,16 +579,23 @@ func (m *Medium) Neighbors(src NodeID) []NodeID { return m.tbl.nbrs[src] }
 // Degree returns how many nodes can hear src.
 func (m *Medium) Degree(src NodeID) int { return len(m.tbl.nbrs[src]) }
 
-// SetDenseScan switches the medium between the neighbor-indexed hot paths
-// (default) and the seed's dense scan over every radio. The two are
-// behaviorally identical — the equivalence tests assert it — but dense
-// scanning costs O(N) per transmission; it is kept as a test oracle and as
-// the baseline the scaling benchmarks compare against.
+// SetDenseScan switches the medium between the sparse neighbor-indexed hot
+// paths (default) and the seed's dense scan over every radio backed by a
+// materialized N×N matrix. The two are behaviorally identical — the
+// equivalence tests assert it — but dense mode costs O(N²) memory and O(N)
+// per transmission; it is kept as a test oracle and as the baseline the
+// scaling benchmarks compare against. Enabling it materializes the matrix
+// from the sparse state; disabling drops the matrix.
 func (m *Medium) SetDenseScan(dense bool) {
 	if dense && m.boundary != nil {
 		panic("medium: dense scan is incompatible with a boundary hook (sharded runs are neighbor-indexed only)")
 	}
 	m.denseScan = dense
+	if dense {
+		m.tbl.materializeDense()
+	} else {
+		m.tbl.dropDense()
+	}
 }
 
 // SetBoundary installs the sharded engine's hook: it observes every
@@ -560,12 +737,13 @@ func (m *Medium) enter(t *transmission) {
 		// own signal is infinitely strong, so capture can never save them.
 		other.addInterf(t.src, 1e9)
 		for _, nid := range t.audience {
-			if !m.Connected(other.src, nid) {
+			osnr, ok := m.tbl.snrConnected(other.src, nid)
+			if !ok {
 				continue
 			}
 			// nid hears both transmitters: both frames are damaged there.
-			t.addInterf(nid, m.tbl.links[other.src][nid].snrdB)
-			other.addInterf(nid, m.tbl.links[t.src][nid].snrdB)
+			t.addInterf(nid, osnr)
+			other.addInterf(nid, m.tbl.snr(t.src, nid))
 		}
 	}
 	t.activeIdx = len(m.active)
@@ -600,8 +778,8 @@ func (m *Medium) launchDense(t *transmission) {
 		for id := range m.radios {
 			nid := NodeID(id)
 			if m.Connected(t.src, nid) && m.Connected(other.src, nid) {
-				t.addInterf(nid, m.tbl.links[other.src][nid].snrdB)
-				other.addInterf(nid, m.tbl.links[t.src][nid].snrdB)
+				t.addInterf(nid, m.tbl.snr(other.src, nid))
+				other.addInterf(nid, m.tbl.snr(t.src, nid))
 			}
 		}
 	}
@@ -694,9 +872,9 @@ func (m *Medium) deliver(t *transmission, dst NodeID) {
 		m.emit(Event{Kind: "half-duplex", Src: t.src, Dst: dst})
 		return
 	}
+	snr := m.tbl.snr(t.src, dst)
 	if t.collided[dst] {
-		captured := m.captureDB > 0 &&
-			m.tbl.links[t.src][dst].snrdB-t.interfSNR[dst] >= m.captureDB
+		captured := m.captureDB > 0 && snr-t.interfSNR[dst] >= m.captureDB
 		if !captured {
 			m.stats.Collisions++
 			m.emit(Event{Kind: "collision", Src: t.src, Dst: dst})
@@ -704,7 +882,6 @@ func (m *Medium) deliver(t *transmission, dst NodeID) {
 		}
 		m.stats.Captures++
 	}
-	snr := m.tbl.links[t.src][dst].snrdB
 	shift := snr - m.params.SNRdB // per-link adjustment
 
 	if t.isControl {

@@ -4,84 +4,31 @@ import (
 	"fmt"
 	"testing"
 	"time"
-
-	"aggmac/internal/frame"
-	"aggmac/internal/phy"
-	"aggmac/internal/sim"
 )
 
 // The medium scaling benches: per-transmission cost on a K×K grid mesh
 // (8-neighborhood, degree ≤ 8 independent of N) under the neighbor index
 // versus the dense scan the seed used. The acceptance shape: indexed ns/op
 // stays flat as N grows at fixed degree, while dense-scan ns/op grows
-// linearly with N; at N=100 the indexed medium must be ≥5x faster.
+// linearly with N; at N=100 the indexed medium must be ≥5x faster. The
+// workload lives in TxBench (benchkit.go) so cmd/aggbench commits baseline
+// records of the identical measurement; the CI bench gate also watches
+// these rows' B/op.
 //
 //	go test ./internal/medium -bench MediumTx -benchtime 100000x
-
-type nopRadio struct{}
-
-func (nopRadio) CarrierBusy()                             {}
-func (nopRadio) CarrierIdle()                             {}
-func (nopRadio) RxControl(NodeID, frame.Control, float64) {}
-func (nopRadio) RxAggregate(NodeID, frame.PHYHeader, []byte) {
-}
-
-// buildGridMedium wires a k×k grid: every node connects to its 4-neighbors
-// at unit spacing (degree ≤ 4 however large the grid grows).
-func buildGridMedium(s *sim.Scheduler, k int) *Medium {
-	p := phy.DefaultParams()
-	m := NewUnconnected(s, p, k*k)
-	id := func(r, c int) NodeID { return NodeID(r*k + c) }
-	for r := 0; r < k; r++ {
-		for c := 0; c < k; c++ {
-			for _, d := range [][2]int{{0, 1}, {1, 0}} {
-				nr, nc := r+d[0], c+d[1]
-				if nr < 0 || nr >= k || nc < 0 || nc >= k {
-					continue
-				}
-				m.SetConnected(id(r, c), id(nr, nc), true)
-			}
-			m.Attach(id(r, c), nopRadio{})
-		}
-	}
-	return m
-}
-
-// benchMediumTx measures the cost of a full transmission lifecycle (launch,
-// overlapping-collision marking, delivery to the audience, carrier release)
-// on a k×k grid. Each iteration launches eight overlapping control frames
-// from the grid's corners and edge midpoints — spatially separate collision
-// domains transmitting concurrently, as in a mesh carrying many flows —
-// and drains the scheduler.
 func benchMediumTx(b *testing.B, k int, dense bool) {
 	b.Helper()
-	s := sim.NewScheduler(1)
-	m := buildGridMedium(s, k)
-	m.SetDenseScan(dense)
-	h := k / 2
-	srcs := []NodeID{
-		0, NodeID(k - 1), NodeID(k * (k - 1)), NodeID(k*k - 1), // corners
-		NodeID(h), NodeID(k * h), NodeID(k*h + k - 1), NodeID(k*(k-1) + h), // edge midpoints
-	}
-	c := frame.Control{Type: frame.TypeCTS, RA: frame.Broadcast}
-	txs := make([]func(), len(srcs))
-	for i, src := range srcs {
-		src := src
-		txs[i] = func() { m.TransmitControl(src, c) }
-	}
+	tb := NewTxBench(k, dense)
 	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
-		for j, tx := range txs {
-			s.After(time.Duration(j)*time.Microsecond, "tx", tx)
-		}
-		s.Run()
+		tb.Burst()
 	}
 	if wall := time.Since(start).Seconds(); wall > 0 {
-		b.ReportMetric(time.Duration(s.Now()).Seconds()/wall, "simsec/sec")
+		b.ReportMetric(tb.SimNow().Seconds()/wall, "simsec/sec")
 	}
-	b.ReportMetric(float64(len(srcs)), "tx/op")
+	b.ReportMetric(float64(tb.TxPerBurst()), "tx/op")
 }
 
 func BenchmarkMediumTx(b *testing.B) {

@@ -62,6 +62,38 @@ func bfsNextHops(d int, neighbors func(i int) []int, next, queue []int) {
 	}
 }
 
+// InstallPathsToward installs hop-count shortest-path next hops toward just
+// the listed destinations: one BFS per destination over the adjacency, with
+// exactly InstallShortestPaths' tie-breaking, installed at every node that
+// reaches the destination. Duplicate destinations are skipped. For D
+// destinations the cost is O(D·(N+E)) time and O(D·N) route entries — the
+// large-mesh alternative to the all-pairs install when the set of node ids
+// that will ever appear as a packet destination is known up front (a mesh
+// run's flow endpoints, say). Any forwarding decision a run actually makes
+// then reads the same table entry the full install would have written.
+func InstallPathsToward(nodes []*network.Node, neighbors func(i int) []int, dests []int) int {
+	n := len(nodes)
+	next := make([]int, n)
+	queue := make([]int, n)
+	seen := make(map[int]bool, len(dests))
+	installed := 0
+	for _, d := range dests {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		bfsNextHops(d, neighbors, next, queue)
+		for v := 0; v < n; v++ {
+			if v == d || next[v] == -1 {
+				continue
+			}
+			nodes[v].AddRoute(network.NodeID(d), network.NodeID(next[v]))
+			installed++
+		}
+	}
+	return installed
+}
+
 // RecomputeShortestPaths recomputes hop-count shortest-path next hops over
 // the (possibly changed) adjacency and syncs every node's routing table
 // with the result: newly reachable destinations gain routes, unreachable

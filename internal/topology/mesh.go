@@ -50,6 +50,12 @@ type MeshConfig struct {
 	// Radio overrides the disk radio model; a zero Range selects the
 	// default model at the PHY's calibrated SNR.
 	Radio RadioModel
+	// DeferRoutes skips the generators' all-pairs shortest-path install —
+	// O(N·(N+E)) time and O(N²) route entries, the remaining quadratic
+	// term at large N. Callers then install only the routes they need
+	// (routing.InstallPathsToward); HopDistance returns -1 for any pair
+	// whose destination has no routes yet.
+	DeferRoutes bool
 }
 
 func (c *MeshConfig) radio() RadioModel {
@@ -116,16 +122,49 @@ func newMesh(pos []Point, cfg MeshConfig) *Mesh {
 			m.Extent.Y = p.Y
 		}
 	}
-	for a := 0; a < n; a++ {
-		for b := a + 1; b < n; b++ {
-			d := pos[a].dist(pos[b])
-			if d > m.rm.Range {
-				continue
-			}
-			m.connect(a, b, m.rm.SNRAt(d))
+	forEachRangePair(pos, m.rm.Range, func(a, b int, d float64) {
+		m.connect(a, b, m.rm.SNRAt(d))
+	})
+	return m
+}
+
+// forEachRangePair visits every unordered node pair within rangeLim of each
+// other exactly once, passing their distance. Nodes are binned into
+// rangeLim-sized cells and only same-cell and adjacent-cell pairs are
+// examined, so the cost is O(N · local density) instead of the all-pairs
+// O(N²) — the same structure UpdateLinks uses for raise candidates. Visit
+// order is unspecified (cell iteration follows map order), so callers must
+// only perform order-independent work: idempotent connectivity/SNR writes
+// and counters qualify, RNG draws do not.
+func forEachRangePair(pos []Point, rangeLim float64, visit func(a, b int, d float64)) {
+	bins := make(map[[2]int][]int, len(pos))
+	for i := range pos {
+		k := [2]int{int(math.Floor(pos[i].X / rangeLim)), int(math.Floor(pos[i].Y / rangeLim))}
+		bins[k] = append(bins[k], i)
+	}
+	try := func(a, b int) {
+		if d := pos[a].dist(pos[b]); d <= rangeLim {
+			visit(a, b, d)
 		}
 	}
-	return m
+	// Half-plane offsets visit each unordered cell pair exactly once;
+	// within a cell, i<j does the same for node pairs.
+	offsets := [...][2]int{{1, 0}, {-1, 1}, {0, 1}, {1, 1}}
+	for c, members := range bins {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				try(members[i], members[j])
+			}
+		}
+		for _, off := range offsets {
+			other := bins[[2]int{c[0] + off[0], c[1] + off[1]}]
+			for _, a := range members {
+				for _, b := range other {
+					try(a, b)
+				}
+			}
+		}
+	}
 }
 
 func (m *Mesh) connect(a, b int, snrdB float64) {
@@ -150,8 +189,12 @@ func (m *Mesh) Adjacency() func(i int) []int {
 	return func(i int) []int { return adj[i] }
 }
 
-// installRoutes computes and installs shortest-path next hops everywhere.
-func (m *Mesh) installRoutes() {
+// installRoutes computes and installs shortest-path next hops everywhere,
+// unless the config deferred routing to the caller.
+func (m *Mesh) installRoutes(cfg MeshConfig) {
+	if cfg.DeferRoutes {
+		return
+	}
 	routing.InstallShortestPaths(m.Nodes, m.Adjacency())
 }
 
@@ -265,7 +308,7 @@ func NewGrid(k int, cfg MeshConfig) *Mesh {
 		}
 	}
 	m := newMesh(pos, cfg)
-	m.installRoutes()
+	m.installRoutes(cfg)
 	return m
 }
 
@@ -287,7 +330,7 @@ func NewRandomDisk(n int, cfg MeshConfig) *Mesh {
 	m := newMesh(pos, cfg)
 	m.Extent = Point{X: side, Y: side}
 	m.bridgeComponents()
-	m.installRoutes()
+	m.installRoutes(cfg)
 	return m
 }
 
@@ -313,7 +356,7 @@ func NewParallelChains(chains, hops int, rowSpacing float64, cfg MeshConfig) *Me
 		}
 	}
 	m := newMesh(pos, cfg)
-	m.installRoutes()
+	m.installRoutes(cfg)
 	return m
 }
 
@@ -371,17 +414,7 @@ func (m *Mesh) UpdateLinks(pos []Point) LinkDelta {
 	}
 	delta.Down = len(cuts)
 
-	cell := m.rm.Range
-	bins := make(map[[2]int][]int, n)
-	for i := 0; i < n; i++ {
-		k := [2]int{int(math.Floor(m.Pos[i].X / cell)), int(math.Floor(m.Pos[i].Y / cell))}
-		bins[k] = append(bins[k], i)
-	}
-	link := func(a, b int) {
-		d := m.Pos[a].dist(m.Pos[b])
-		if d > m.rm.Range {
-			return
-		}
+	forEachRangePair(m.Pos, m.rm.Range, func(a, b int, d float64) {
 		snr := m.rm.SNRAt(d)
 		if m.overlay != nil {
 			if !m.overlay.LinkUp(a, b) {
@@ -395,25 +428,7 @@ func (m *Mesh) UpdateLinks(pos []Point) LinkDelta {
 		}
 		m.Medium.SetSNR(medium.NodeID(a), medium.NodeID(b), snr)
 		delta.InRange++
-	}
-	// Half-plane offsets visit each unordered cell pair exactly once;
-	// within a cell, i<j does the same for node pairs.
-	offsets := [...][2]int{{1, 0}, {-1, 1}, {0, 1}, {1, 1}}
-	for c, members := range bins {
-		for i := 0; i < len(members); i++ {
-			for j := i + 1; j < len(members); j++ {
-				link(members[i], members[j])
-			}
-		}
-		for _, off := range offsets {
-			other := bins[[2]int{c[0] + off[0], c[1] + off[1]}]
-			for _, a := range members {
-				for _, b := range other {
-					link(a, b)
-				}
-			}
-		}
-	}
+	})
 	m.LinkCount += delta.Up - delta.Down
 	return delta
 }
