@@ -56,6 +56,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -67,6 +69,7 @@ import (
 	"aggmac/internal/phy"
 	"aggmac/internal/runner"
 	"aggmac/internal/store"
+	"aggmac/internal/telemetry"
 	// Aliased: the -traffic flag variable shadows the package name here.
 	wl "aggmac/internal/traffic"
 )
@@ -138,6 +141,13 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-node detail (single run)")
 		doTrace  = flag.Bool("trace", false, "stream the channel timeline to stderr (single, mesh and scenario runs)")
 		traceNds = flag.String("trace-nodes", "", "with -trace: comma list of node IDs; only events touching them are traced")
+		traceFmt = flag.String("trace-format", core.TraceText, "with -trace: timeline format: text | jsonl")
+
+		metricsPath = flag.String("metrics", "", "write simulated-time telemetry series as JSONL to this file (single, mesh and scenario runs)")
+		metricsIv   = flag.Duration("metrics-interval", telemetry.DefaultInterval, "with -metrics: simulated-time sampling interval")
+		chromeTrace = flag.String("chrome-trace", "", "write a chrome://tracing trace-event file of per-shard wall-clock spans (sharded mesh runs; not deterministic)")
+		blockProf   = flag.String("blockprofile", "", "write a goroutine blocking profile to this file at exit")
+		mutexProf   = flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
 
 		scenario = flag.String("scenario", "", "run a declarative scenario file (JSON; see examples/scenarios)")
 		arrival  = flag.Float64("arrival-rate", 0, "workload: open-loop Poisson flow arrivals per second (requires -topo)")
@@ -198,14 +208,42 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	switch *traceFmt {
+	case core.TraceText, core.TraceJSONL:
+	default:
+		fatal(fmt.Errorf("unknown -trace-format %q (text|jsonl)", *traceFmt))
+	}
+	if *traceFmt != core.TraceText && !*doTrace {
+		fatal(fmt.Errorf("-trace-format requires -trace"))
+	}
 	var traceTo io.Writer
 	if *doTrace {
 		traceTo = os.Stderr
+	}
+	if *metricsIv <= 0 {
+		fatal(fmt.Errorf("-metrics-interval must be positive"))
+	}
+	if *metricsPath != "" && *storeDir != "" {
+		// The store caches a run's declared config; a telemetry recorder is
+		// side output the cache could neither replay nor invalidate on.
+		fatal(fmt.Errorf("-metrics cannot be combined with -store"))
+	}
+	if *chromeTrace != "" && (*topo == "" || *shards <= 0) {
+		fatal(fmt.Errorf("-chrome-trace requires a sharded mesh run (-topo with -shards >= 1)"))
 	}
 	faultCfg, err := faultConfig(*crashMTBF, *crashMTTR, *flapRate, *flapDown, *partitions, *snrBurst, *snrBurstDB)
 	if err != nil {
 		fatal(err)
 	}
+
+	if *blockProf != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	defer writeProfile("block", *blockProf)
+	defer writeProfile("mutex", *mutexProf)
 
 	// Scenario-file mode: everything (topology, traffic, schemes) comes
 	// from the file; -seed (when given explicitly), -parallel, -json,
@@ -236,6 +274,7 @@ func main() {
 			sc: sc, schemes: schemes, seed: seedOverride,
 			parallel: *parallel, jsonOut: *jsonOut, progress: *progress,
 			verbose: *verbose, traceTo: traceTo, traceNodes: traceNodes,
+			traceFormat: *traceFmt, metrics: *metricsPath, metricsIv: *metricsIv,
 			st: openStore(*storeDir), resume: *resume, retries: *retries,
 		})
 		return
@@ -286,6 +325,7 @@ func main() {
 			sc: sc, schemes: schemes,
 			parallel: *parallel, jsonOut: *jsonOut, progress: *progress,
 			verbose: *verbose, traceTo: traceTo, traceNodes: traceNodes,
+			traceFormat: *traceFmt, metrics: *metricsPath, metricsIv: *metricsIv,
 			st: openStore(*storeDir), resume: *resume, retries: *retries,
 		})
 		return
@@ -353,6 +393,8 @@ func main() {
 			faults: faultCfg,
 			file:   *file, agg: *agg, seed: *seed, verbose: *verbose,
 			jsonOut: *jsonOut, traceTo: traceTo, traceNodes: traceNodes,
+			traceFormat: *traceFmt, metrics: *metricsPath, metricsIv: *metricsIv,
+			chromeTrace: *chromeTrace,
 		})
 		return
 	}
@@ -369,6 +411,9 @@ func main() {
 	if len(schemes)*len(rates)*len(hops) > 1 || *reps > 1 {
 		if *star {
 			fatal(fmt.Errorf("-star cannot be combined with a parameter sweep"))
+		}
+		if *metricsPath != "" {
+			fatal(fmt.Errorf("-metrics applies to single, mesh and scenario runs, not sweeps"))
 		}
 		var fixedBC *phy.Rate
 		if *bcRate > 0 {
@@ -401,7 +446,26 @@ func main() {
 		blockAck: *blockAck, autoAgg: *autoAgg, flood: *flood, dur: *dur,
 		seed: *seed, bcRate: *bcRate, verbose: *verbose,
 		jsonOut: *jsonOut, traceTo: traceTo, traceNodes: traceNodes,
+		traceFormat: *traceFmt, metrics: *metricsPath, metricsIv: *metricsIv,
 	})
+}
+
+// writeProfile writes the named runtime profile (block, mutex) at exit; an
+// empty path is a no-op. Profiles are best-effort diagnostics: a write
+// failure warns on stderr without changing the exit code.
+func writeProfile(name, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aggsim:", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "aggsim:", err)
+	}
 }
 
 // fatal reports a flag/validation error and exits with the usage code (2).
@@ -552,11 +616,44 @@ type singleArgs struct {
 	jsonOut           bool
 	traceTo           io.Writer
 	traceNodes        []int
+	traceFormat       string
+	metrics           string
+	metricsIv         time.Duration
+}
+
+// recorder builds the telemetry recorder for a -metrics run; nil (metrics
+// off) keeps every instrumented run byte-identical to an uninstrumented one.
+func recorder(path string, interval time.Duration) *telemetry.Recorder {
+	if path == "" {
+		return nil
+	}
+	return telemetry.NewRecorder(interval)
+}
+
+// writeMetrics flushes the recorder's sampled series as JSONL; a nil
+// recorder is a no-op. Output I/O failures are run failures (exit 1).
+func writeMetrics(rec *telemetry.Recorder, path string) {
+	if rec == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		runFail(err)
+	}
+	if err := rec.WriteJSONL(f); err != nil {
+		f.Close()
+		runFail(err)
+	}
+	if err := f.Close(); err != nil {
+		runFail(err)
+	}
+	fmt.Fprintf(os.Stderr, "aggsim: telemetry written to %s\n", path)
 }
 
 func runSingle(a singleArgs) {
 	sch := a.scheme
 	sch.DisableForwardAggregation = a.noFwd
+	rec := recorder(a.metrics, a.metricsIv)
 
 	switch a.traffic {
 	case "tcp":
@@ -565,6 +662,7 @@ func runSingle(a singleArgs) {
 			FileBytes: a.file, MaxAggBytes: a.agg, Seed: a.seed,
 			BlockAck: a.blockAck, AutoAggSize: a.autoAgg,
 			TraceTo: a.traceTo, TraceNodes: a.traceNodes,
+			TraceFormat: a.traceFormat, Metrics: rec,
 		}
 		if a.bcRate > 0 {
 			br, err := phy.RateFromMbps(a.bcRate)
@@ -574,8 +672,9 @@ func runSingle(a singleArgs) {
 			cfg.FixedBroadcastRate = &br
 		}
 		res := core.RunTCP(cfg)
+		writeMetrics(rec, a.metrics)
 		if a.jsonOut {
-			writeJSON(jsonResult{Kind: "tcp", TCP: &res})
+			writeJSON(jsonResult{Kind: "tcp", TCP: &res, Telemetry: rec.Summary()})
 			return
 		}
 		fmt.Printf("scheme=%s rate=%v topology=%s\n", sch.Name(), a.rate, topoName(a.hops, a.star))
@@ -599,9 +698,11 @@ func runSingle(a singleArgs) {
 			Scheme: sch, Rate: a.rate, Hops: a.hops, MaxAggBytes: a.agg,
 			FloodInterval: a.flood, Duration: a.dur, Seed: a.seed,
 			TraceTo: a.traceTo, TraceNodes: a.traceNodes,
+			TraceFormat: a.traceFormat, Metrics: rec,
 		})
+		writeMetrics(rec, a.metrics)
 		if a.jsonOut {
-			writeJSON(jsonResult{Kind: "udp", UDP: &res})
+			writeJSON(jsonResult{Kind: "udp", UDP: &res, Telemetry: rec.Summary()})
 			return
 		}
 		fmt.Printf("scheme=%s rate=%v hops=%d flood=%v\n", sch.Name(), a.rate, a.hops, a.flood)
@@ -636,6 +737,10 @@ type meshArgs struct {
 	jsonOut           bool
 	traceTo           io.Writer
 	traceNodes        []int
+	traceFormat       string
+	metrics           string
+	metricsIv         time.Duration
+	chromeTrace       string
 }
 
 // faultConfig assembles the fault-injection config from the CLI flags; it
@@ -688,7 +793,8 @@ func faultConfig(crashMTBF, crashMTTR time.Duration, flapRate float64, flapDown 
 }
 
 func runMesh(a meshArgs) {
-	res := core.RunMeshTCP(core.MeshTCPConfig{
+	rec := recorder(a.metrics, a.metricsIv)
+	cfg := core.MeshTCPConfig{
 		Scheme: a.scheme, Rate: a.rate,
 		Topology: a.topo, Nodes: a.nodes, Flows: a.flows,
 		Chains: a.chains, ChainHops: a.chainHops, CrossFlows: a.crossFlows,
@@ -697,9 +803,26 @@ func runMesh(a meshArgs) {
 		Faults:    a.faults,
 		FileBytes: a.file, MaxAggBytes: a.agg, Seed: a.seed,
 		TraceTo: a.traceTo, TraceNodes: a.traceNodes,
-	})
+		TraceFormat: a.traceFormat, Metrics: rec,
+	}
+	var chromeFile *os.File
+	if a.chromeTrace != "" {
+		var err error
+		if chromeFile, err = os.Create(a.chromeTrace); err != nil {
+			runFail(err)
+		}
+		cfg.ShardTrace = chromeFile
+	}
+	res := core.RunMeshTCP(cfg)
+	if chromeFile != nil {
+		if err := chromeFile.Close(); err != nil {
+			runFail(err)
+		}
+		fmt.Fprintf(os.Stderr, "aggsim: chrome trace written to %s\n", a.chromeTrace)
+	}
+	writeMetrics(rec, a.metrics)
 	if a.jsonOut {
-		writeJSON(jsonResult{Kind: "mesh", Mesh: &res})
+		writeJSON(jsonResult{Kind: "mesh", Mesh: &res, Telemetry: rec.Summary()})
 		return
 	}
 	fmt.Printf("scheme=%s rate=%v topology=%s nodes=%d links=%d avg-degree=%.1f\n",

@@ -19,6 +19,7 @@ import (
 	"aggmac/internal/mac"
 	"aggmac/internal/runner"
 	"aggmac/internal/store"
+	"aggmac/internal/telemetry"
 	"aggmac/internal/traffic"
 )
 
@@ -40,18 +41,21 @@ func parseTraceNodes(list string) ([]int, error) {
 
 // scenarioArgs carries everything scenario mode needs from main.
 type scenarioArgs struct {
-	sc         traffic.Scenario
-	schemes    []mac.Scheme // resolved run list (file's schemes, or -scheme)
-	seed       int64        // >0 overrides the scenario's seed
-	parallel   int
-	jsonOut    bool
-	progress   bool
-	verbose    bool
-	traceTo    io.Writer
-	traceNodes []int
-	st         *store.Store // nil = no durable store
-	resume     bool
-	retries    int
+	sc          traffic.Scenario
+	schemes     []mac.Scheme // resolved run list (file's schemes, or -scheme)
+	seed        int64        // >0 overrides the scenario's seed
+	parallel    int
+	jsonOut     bool
+	progress    bool
+	verbose     bool
+	traceTo     io.Writer
+	traceNodes  []int
+	traceFormat string
+	metrics     string // telemetry JSONL path; "" = metrics off
+	metricsIv   time.Duration
+	st          *store.Store // nil = no durable store
+	resume      bool
+	retries     int
 }
 
 // adhocScenario assembles a Scenario from CLI flags: the -topo mesh flags
@@ -122,11 +126,21 @@ func runScenarios(a scenarioArgs) {
 		// header matches what actually ran.
 		a.sc.Seed = a.seed
 	}
+	var rec *telemetry.Recorder
+	if a.metrics != "" {
+		// One recorder belongs to one run: a multi-scheme scenario would
+		// interleave the schemes' series in completion order.
+		if len(a.schemes) != 1 {
+			fatal(fmt.Errorf("-metrics requires exactly one scheme per run (got %d)", len(a.schemes)))
+		}
+		rec = telemetry.NewRecorder(a.metricsIv)
+	}
 	specs := make([]runner.Spec, len(a.schemes))
 	for i, scheme := range a.schemes {
 		cfg := core.ScenarioConfig{
 			Scenario: a.sc, Scheme: scheme, Seed: a.seed,
 			TraceTo: a.traceTo, TraceNodes: a.traceNodes,
+			TraceFormat: a.traceFormat, Metrics: rec,
 		}
 		specs[i] = runner.Spec{
 			Key:      fmt.Sprintf("scenario/%s/%s", a.sc.Name, scheme.Name()),
@@ -186,6 +200,7 @@ func runScenarios(a scenarioArgs) {
 			runFail(fmt.Errorf("run %s failed: %v", r.Key, r.Err))
 		}
 	}
+	writeMetrics(rec, a.metrics)
 
 	if a.jsonOut {
 		out := make([]core.ScenarioResult, len(results))
@@ -264,10 +279,13 @@ func writeJSON(v any) {
 
 // jsonResult wraps a single-run result with its kind, the -json envelope
 // for non-sweep runs (mirrors aggbench -json being an array of tables).
+// Telemetry carries the -metrics per-run summary (the full series stay in
+// the JSONL file); nil when metrics are off.
 type jsonResult struct {
-	Kind     string               `json:"kind"`
-	TCP      *core.TCPResult      `json:"tcp,omitempty"`
-	UDP      *core.UDPResult      `json:"udp,omitempty"`
-	Mesh     *core.MeshResult     `json:"mesh,omitempty"`
-	Scenario *core.ScenarioResult `json:"scenario,omitempty"`
+	Kind      string               `json:"kind"`
+	TCP       *core.TCPResult      `json:"tcp,omitempty"`
+	UDP       *core.UDPResult      `json:"udp,omitempty"`
+	Mesh      *core.MeshResult     `json:"mesh,omitempty"`
+	Scenario  *core.ScenarioResult `json:"scenario,omitempty"`
+	Telemetry *telemetry.Summary   `json:"telemetry,omitempty"`
 }

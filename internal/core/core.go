@@ -6,6 +6,7 @@
 package core
 
 import (
+	"fmt"
 	"io"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"aggmac/internal/phy"
 	"aggmac/internal/sim"
 	"aggmac/internal/tcp"
+	"aggmac/internal/telemetry"
 	"aggmac/internal/topology"
 	"aggmac/internal/udp"
 )
@@ -62,9 +64,15 @@ type TCPConfig struct {
 	Tweak func(*mac.Options)
 	// TraceTo, when set, streams the channel timeline (every control
 	// frame, aggregate, collision) to the writer; TraceNodes restricts it
-	// to events touching the listed nodes.
-	TraceTo    io.Writer
-	TraceNodes []int
+	// to events touching the listed nodes; TraceFormat selects TraceText
+	// (default) or TraceJSONL.
+	TraceTo     io.Writer
+	TraceNodes  []int
+	TraceFormat string
+	// Metrics, when set, samples the telemetry catalog on simulated-time
+	// ticks (see internal/telemetry). nil — the default — schedules
+	// nothing, so the event sequence and golden hashes are untouched.
+	Metrics *telemetry.Recorder
 	// TCP overrides the transport config; zero value means defaults.
 	TCP tcp.Config
 	// Phy overrides the channel constants; nil means calibrated defaults.
@@ -184,7 +192,7 @@ func RunTCP(cfg TCPConfig) TCPResult {
 		roleOf = topology.LinearRole
 	}
 
-	if obs := traceObserver(cfg.TraceTo, cfg.TraceNodes); obs != nil {
+	if obs := traceObserver(cfg.TraceTo, cfg.TraceNodes, cfg.TraceFormat); obs != nil {
 		net.Medium.SetObserver(obs)
 	}
 
@@ -227,6 +235,29 @@ func RunTCP(cfg TCPConfig) TCPResult {
 				conn.Close()
 			}
 		})
+	}
+
+	if cfg.Metrics != nil {
+		reg := cfg.Metrics.Registry(0)
+		registerRunMetrics(reg, net.Sched, net.Medium, net.Nodes, stacks, cfg.MaxAggBytes)
+		for i := range sessions {
+			i := i
+			// Both connection slots stay nil until the handshake events
+			// fire, so the gauges guard every read.
+			reg.Gauge(fmt.Sprintf("tcp.session%d.cwnd", i), func() float64 {
+				if conns[i] == nil {
+					return 0
+				}
+				return float64(conns[i].Cwnd())
+			})
+			reg.Gauge(fmt.Sprintf("tcp.session%d.srtt_s", i), func() float64 {
+				if conns[i] == nil {
+					return 0
+				}
+				return conns[i].SRTT().Seconds()
+			})
+		}
+		reg.Start(net.Sched, cfg.Metrics.Interval(), cfg.Deadline)
 	}
 
 	net.Sched.RunUntil(cfg.Deadline)
@@ -293,9 +324,14 @@ type UDPConfig struct {
 	Phy      *phy.Params
 	Seed     int64
 	// TraceTo streams the channel timeline to the writer; TraceNodes
-	// restricts it to events touching the listed nodes.
-	TraceTo    io.Writer
-	TraceNodes []int
+	// restricts it to events touching the listed nodes; TraceFormat
+	// selects TraceText (default) or TraceJSONL.
+	TraceTo     io.Writer
+	TraceNodes  []int
+	TraceFormat string
+	// Metrics samples the telemetry catalog on simulated-time ticks;
+	// nil schedules nothing.
+	Metrics *telemetry.Recorder
 }
 
 // UDPResult is what a UDP experiment measures.
@@ -337,7 +373,7 @@ func RunUDP(cfg UDPConfig) UDPResult {
 		return opts
 	}
 	net := topology.NewLinear(cfg.Hops, topology.Config{Seed: cfg.Seed, Phy: params, OptsFor: optsFor})
-	if obs := traceObserver(cfg.TraceTo, cfg.TraceNodes); obs != nil {
+	if obs := traceObserver(cfg.TraceTo, cfg.TraceNodes, cfg.TraceFormat); obs != nil {
 		net.Medium.SetObserver(obs)
 	}
 
@@ -370,6 +406,11 @@ func RunUDP(cfg UDPConfig) UDPResult {
 			g.Start()
 		}
 	})
+	if cfg.Metrics != nil {
+		reg := cfg.Metrics.Registry(0)
+		registerRunMetrics(reg, net.Sched, net.Medium, net.Nodes, nil, cfg.MaxAggBytes)
+		reg.Start(net.Sched, cfg.Metrics.Interval(), cfg.Duration)
+	}
 	net.Sched.RunUntil(cfg.Duration)
 	sender.Stop()
 	for _, g := range gens {

@@ -29,6 +29,7 @@ import (
 	"aggmac/internal/routing"
 	"aggmac/internal/sim"
 	"aggmac/internal/tcp"
+	"aggmac/internal/telemetry"
 	"aggmac/internal/topology"
 )
 
@@ -129,9 +130,19 @@ type MeshTCPConfig struct {
 	// Tweak adjusts every node's final MAC options.
 	Tweak func(*mac.Options)
 	// TraceTo streams the channel timeline to the writer; TraceNodes
-	// restricts it to events touching the listed nodes.
-	TraceTo    io.Writer
-	TraceNodes []int
+	// restricts it to events touching the listed nodes; TraceFormat
+	// selects TraceText (default) or TraceJSONL.
+	TraceTo     io.Writer
+	TraceNodes  []int
+	TraceFormat string
+	// Metrics samples the telemetry catalog on simulated-time ticks —
+	// per shard on parallel runs. nil schedules nothing, so the event
+	// sequence and golden hashes are untouched.
+	Metrics *telemetry.Recorder
+	// ShardTrace, with Shards > 0, receives a Chrome trace-event file of
+	// per-shard run/blocked wall-clock spans after the run — the shard
+	// imbalance view. Wall-clock by nature, so never deterministic.
+	ShardTrace io.Writer
 	// TCP overrides the transport config; zero value means defaults.
 	TCP tcp.Config
 	// Phy overrides the channel constants; nil means calibrated defaults.
@@ -521,7 +532,7 @@ func RunMeshTCP(cfg MeshTCPConfig) MeshResult {
 	if cfg.DenseScan {
 		m.Medium.SetDenseScan(true)
 	}
-	if obs := traceObserver(cfg.TraceTo, cfg.TraceNodes); obs != nil {
+	if obs := traceObserver(cfg.TraceTo, cfg.TraceNodes, cfg.TraceFormat); obs != nil {
 		m.Medium.SetObserver(obs)
 	}
 	flows := cfg.planFlows(m)
@@ -548,6 +559,13 @@ func RunMeshTCP(cfg MeshTCPConfig) MeshResult {
 			},
 			onRecover: func(node int) { m.Nodes[node].MAC().SetDown(false) },
 		})
+
+	if cfg.Metrics != nil {
+		reg := cfg.Metrics.Registry(0)
+		registerRunMetrics(reg, m.Sched, m.Medium, m.Nodes, stacks, cfg.MaxAggBytes)
+		registerFlowMetrics(reg, m.Sched, flows)
+		reg.Start(m.Sched, cfg.Metrics.Interval(), cfg.Deadline)
+	}
 
 	if cfg.WallBudget > 0 {
 		m.Sched.SetWallBudget(cfg.WallBudget)

@@ -42,6 +42,7 @@ import (
 	"aggmac/internal/routing"
 	"aggmac/internal/sim"
 	"aggmac/internal/tcp"
+	"aggmac/internal/telemetry"
 	"aggmac/internal/topology"
 	"aggmac/internal/traffic"
 )
@@ -205,12 +206,40 @@ func runMeshTCPSharded(cfg MeshTCPConfig, tcfg tcp.Config) MeshResult {
 	wireFlows(&cfg, flows, stacks,
 		func(id network.NodeID) *sim.Scheduler { return scheds[owner[id]] }, onAllDone)
 
+	if cfg.Metrics != nil {
+		// One registry per shard, each sampled by its own scheduler and
+		// reading only shard-owned state (medium, nodes, stacks), so
+		// sampling is race-free and each shard's series is a pure
+		// function of (config, Shards). Per-flow stall gauges are
+		// sequential-only: a flow's endpoints may live on two shards.
+		shardNodes := make([][]*network.Node, k)
+		shardStacks := make([][]*tcp.Stack, k)
+		for i := 0; i < n; i++ {
+			shardNodes[owner[i]] = append(shardNodes[owner[i]], nodes[i])
+			shardStacks[owner[i]] = append(shardStacks[owner[i]], stacks[i])
+		}
+		for s := 0; s < k; s++ {
+			reg := cfg.Metrics.Registry(s)
+			registerRunMetrics(reg, scheds[s], media[s], shardNodes[s], shardStacks[s], cfg.MaxAggBytes)
+			reg.Start(scheds[s], cfg.Metrics.Interval(), cfg.Deadline)
+		}
+	}
+	if cfg.ShardTrace != nil {
+		eng.EnableDiag()
+	}
+
 	if cfg.WallBudget > 0 {
 		for _, s := range scheds {
 			s.SetWallBudget(cfg.WallBudget)
 		}
 	}
 	eng.Run(cfg.Deadline)
+
+	if cfg.ShardTrace != nil {
+		if err := telemetry.WriteChromeTrace(cfg.ShardTrace, eng.DiagSpans()); err != nil {
+			panic(fmt.Sprintf("core: writing shard trace: %v", err))
+		}
+	}
 
 	var eventsRun uint64
 	for _, s := range scheds {

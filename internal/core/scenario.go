@@ -26,6 +26,7 @@ import (
 	"aggmac/internal/phy"
 	"aggmac/internal/sim"
 	"aggmac/internal/tcp"
+	"aggmac/internal/telemetry"
 	"aggmac/internal/topology"
 	"aggmac/internal/traffic"
 )
@@ -39,9 +40,14 @@ type ScenarioConfig struct {
 	// replications derive per-run seeds here).
 	Seed int64
 	// TraceTo streams the channel timeline to the writer; TraceNodes
-	// restricts it to events touching the listed nodes.
-	TraceTo    io.Writer
-	TraceNodes []int
+	// restricts it to events touching the listed nodes; TraceFormat
+	// selects TraceText (default) or TraceJSONL.
+	TraceTo     io.Writer
+	TraceNodes  []int
+	TraceFormat string
+	// Metrics samples the telemetry catalog plus the engine's flow-churn
+	// gauges on simulated-time ticks; nil schedules nothing.
+	Metrics *telemetry.Recorder
 	// TCP overrides the transport config; zero value means defaults.
 	TCP tcp.Config
 	// Phy overrides the channel constants; nil means calibrated defaults.
@@ -213,7 +219,7 @@ func RunScenario(cfg ScenarioConfig) ScenarioResult {
 	}
 	mcfg.fill()
 	m := mcfg.buildMesh()
-	if obs := traceObserver(cfg.TraceTo, cfg.TraceNodes); obs != nil {
+	if obs := traceObserver(cfg.TraceTo, cfg.TraceNodes, cfg.TraceFormat); obs != nil {
 		m.Medium.SetObserver(obs)
 	}
 
@@ -255,6 +261,15 @@ func RunScenario(cfg ScenarioConfig) ScenarioResult {
 		e.startOpenLoop()
 	case traffic.ModeClosed:
 		e.startClosedLoop()
+	}
+
+	if cfg.Metrics != nil {
+		reg := cfg.Metrics.Registry(0)
+		registerRunMetrics(reg, m.Sched, m.Medium, m.Nodes, e.stacks, mcfg.MaxAggBytes)
+		reg.Gauge("scn.active_flows", func() float64 { return float64(e.active) })
+		reg.Gauge("scn.flows_started", func() float64 { return float64(len(e.flows)) })
+		reg.Gauge("scn.flows_completed", func() float64 { return float64(e.fct.Count()) })
+		reg.Start(m.Sched, cfg.Metrics.Interval(), sc.Deadline())
 	}
 
 	if cfg.WallBudget > 0 {

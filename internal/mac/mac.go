@@ -28,6 +28,7 @@ import (
 	"aggmac/internal/medium"
 	"aggmac/internal/phy"
 	"aggmac/internal/sim"
+	"aggmac/internal/telemetry"
 )
 
 // txState enumerates the sender-side exchange states.
@@ -103,6 +104,11 @@ type MAC struct {
 	dedup    []uint64 // ring of recently delivered frame signatures
 	dedupPos int
 
+	// aggHist, when set, observes the body size of every transmitted
+	// aggregate. Nil (the default) costs one predictable branch per
+	// data transmission and nothing else.
+	aggHist *telemetry.Histogram
+
 	c Counters
 }
 
@@ -141,6 +147,12 @@ func (m *MAC) Counters() Counters { return m.c }
 
 // QueueLen returns the broadcast and unicast queue depths.
 func (m *MAC) QueueLen() (broadcast, unicast int) { return len(m.bq), len(m.uq) }
+
+// SetAggSizeHist attaches a telemetry histogram observing the body size
+// (bytes) of every transmitted aggregate. A nil histogram handle is
+// valid and free; observation itself never allocates, so metrics-off
+// runs and golden hashes are untouched either way.
+func (m *MAC) SetAggSizeHist(h *telemetry.Histogram) { m.aggHist = h }
 
 // SetDown marks the MAC crashed (true) or recovered (false). A down MAC
 // accepts no frames, starts no access cycles, and ignores everything it
@@ -468,6 +480,7 @@ func (m *MAC) accountDataTx(agg *frame.Aggregate, air time.Duration) {
 		payload += int64(len(sf.Payload))
 		payloadTime += phy.Airtime(len(sf.Payload), agg.UnicastRate)
 	}
+	m.aggHist.Observe(float64(body))
 	m.c.BodyBytesTx += body
 	m.c.PayloadBytesTx += payload
 	m.c.HeaderBytesTx += body - payload

@@ -23,6 +23,7 @@ import (
 
 	"aggmac/internal/core"
 	"aggmac/internal/sim"
+	"aggmac/internal/telemetry"
 	"aggmac/internal/traffic"
 )
 
@@ -98,16 +99,27 @@ type Progress struct {
 	// cells without holding the results slice.
 	Cached   bool
 	Attempts int
+	// Elapsed is the wall time since the sweep started, measured when this
+	// completion was reported, so reporters can derive a completion rate
+	// and an ETA. Zero only for reporters invoked outside Pool.Run.
+	Elapsed time.Duration
 }
 
 // StderrProgress is the standard per-run progress reporter the CLIs wire
-// to -progress: one "[done/total] key (wall)" line per completed run.
+// to -progress: one "[done/total] key (wall)" line per completed run, with
+// a sweep-level rate and ETA once the pool supplies elapsed wall time.
 func StderrProgress(p Progress) {
+	var rate string
+	if p.Elapsed > 0 && p.Done > 0 {
+		rps := float64(p.Done) / p.Elapsed.Seconds()
+		eta := time.Duration(float64(p.Total-p.Done) / rps * float64(time.Second))
+		rate = fmt.Sprintf(" [%.1f runs/s, eta %v]", rps, eta.Round(time.Second))
+	}
 	if p.Cached {
-		fmt.Fprintf(os.Stderr, "[%d/%d] %s (cached)\n", p.Done, p.Total, p.Key)
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s (cached)%s\n", p.Done, p.Total, p.Key, rate)
 		return
 	}
-	fmt.Fprintf(os.Stderr, "[%d/%d] %s (%v)\n", p.Done, p.Total, p.Key, p.Wall.Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "[%d/%d] %s (%v)%s\n", p.Done, p.Total, p.Key, p.Wall.Round(time.Millisecond), rate)
 }
 
 // Pool executes specs across Workers goroutines.
@@ -129,6 +141,10 @@ type Pool struct {
 	// retries. Retried runs are bit-identical to first-try runs: the spec —
 	// and with it the derived seed — never changes between attempts.
 	Retry RetryPolicy
+	// Telemetry, when set, receives sweep-level counters (runner.runs,
+	// runner.cache_hits, runner.retries). Counters are atomic, so one
+	// registry may be shared by all workers; nil disables the accounting.
+	Telemetry *telemetry.Registry
 
 	// execute is a test seam for fault injection; nil means runOne.
 	execute func(int, Spec) Result
@@ -161,6 +177,13 @@ func (p *Pool) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 		return results, ctx.Err()
 	}
 
+	// Nil-receiver handles make the increments below unconditional: with no
+	// Telemetry registry each Add is a single predictable branch.
+	runs := p.Telemetry.Counter("runner.runs")
+	cacheHits := p.Telemetry.Counter("runner.cache_hits")
+	retries := p.Telemetry.Counter("runner.retries")
+	start := time.Now()
+
 	idxCh := make(chan int)
 	go func() {
 		defer close(idxCh)
@@ -188,6 +211,13 @@ func (p *Pool) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 					return
 				}
 				results[i] = p.runSpec(ctx, i, specs[i], noteCacheErr)
+				runs.Add(1)
+				if results[i].Cached {
+					cacheHits.Add(1)
+				}
+				if results[i].Attempts > 1 {
+					retries.Add(uint64(results[i].Attempts - 1))
+				}
 				// Flush the completed cell durably before reporting it, so
 				// a kill at any point loses at most the in-flight runs.
 				if p.Cache != nil && results[i].Err == nil && !results[i].Cached {
@@ -200,7 +230,8 @@ func (p *Pool) Run(ctx context.Context, specs []Spec) ([]Result, error) {
 					done++
 					p.OnResult(Progress{Done: done, Total: len(specs),
 						Index: i, Key: specs[i].Key, Wall: results[i].Wall,
-						Cached: results[i].Cached, Attempts: results[i].Attempts})
+						Cached: results[i].Cached, Attempts: results[i].Attempts,
+						Elapsed: time.Since(start)})
 					mu.Unlock()
 				}
 			}

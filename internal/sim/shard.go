@@ -109,7 +109,29 @@ type engineShard struct {
 	wake   chan struct{}
 	parked atomic.Bool
 
+	// Diagnostic span recording (EnableDiag). Owner-only state: spans is
+	// read by DiagSpans after Run returns.
+	spans       []ShardSpan
+	batchStart  time.Duration
+	batchEvents uint64
+
 	panicked any
+}
+
+// ShardSpan is one wall-clock interval of a shard goroutine's life,
+// recorded only when EnableDiag was called before Run: Kind "run" covers
+// one batch of executed events, "blocked" one park waiting for a
+// neighbor's horizon. Start and End are wall-clock offsets from Run's
+// start; SimAt is the shard's simulated clock when the span closed.
+// Wall-clock spans vary run to run by construction — they feed the
+// Chrome trace exporter only and never any deterministic output.
+type ShardSpan struct {
+	Shard  int
+	Kind   string // "run" | "blocked"
+	Start  time.Duration
+	End    time.Duration
+	SimAt  Time
+	Events uint64 // events executed during a "run" span
 }
 
 // ShardEngine couples K Schedulers under conservative synchronization.
@@ -123,6 +145,43 @@ type ShardEngine struct {
 	deadline Time
 	done     atomic.Bool
 	running  atomic.Bool
+
+	diag      bool
+	wallStart time.Time
+}
+
+// EnableDiag turns on per-shard wall-clock span recording for the Chrome
+// trace exporter. Must be called before Run. Diagnostics never affect
+// event order — they only read the wall clock around batches and parks —
+// but they do cost a timestamp per batch, so they are off by default.
+func (e *ShardEngine) EnableDiag() {
+	if e.running.Load() {
+		panic("sim: EnableDiag after Run started")
+	}
+	e.diag = true
+}
+
+// DiagSpans returns the spans recorded during Run, grouped by shard in
+// ascending order. Empty unless EnableDiag was called.
+func (e *ShardEngine) DiagSpans() []ShardSpan {
+	var out []ShardSpan
+	for _, s := range e.shards {
+		out = append(out, s.spans...)
+	}
+	return out
+}
+
+// closeRunSpan ends the in-progress "run" span of a batch that executed
+// at least one event.
+func (e *ShardEngine) closeRunSpan(s *engineShard) {
+	s.spans = append(s.spans, ShardSpan{
+		Shard:  s.id,
+		Kind:   "run",
+		Start:  s.batchStart,
+		End:    time.Since(e.wallStart),
+		SimAt:  s.sched.Now(),
+		Events: s.batchEvents,
+	})
 }
 
 // NewShardEngine builds an engine over the given schedulers. lookahead is
@@ -229,6 +288,9 @@ func (e *ShardEngine) Run(deadline Time) {
 		panic("sim: ShardEngine.Run called twice")
 	}
 	e.deadline = deadline
+	if e.diag {
+		e.wallStart = time.Now()
+	}
 	var wg sync.WaitGroup
 	for _, s := range e.shards {
 		wg.Add(1)
@@ -496,6 +558,13 @@ func (e *ShardEngine) runShard(s *engineShard) {
 				s.setActive()
 				e.publish(s, t)
 				progressed = true
+				if e.diag {
+					s.batchStart = time.Since(e.wallStart)
+					s.batchEvents = 0
+				}
+			}
+			if e.diag {
+				s.batchEvents++
 			}
 			if useStaged {
 				ev := s.stagePop()
@@ -507,12 +576,18 @@ func (e *ShardEngine) runShard(s *engineShard) {
 			if sched.Halted() {
 				// Halt is only meaningful for single-shard runs (the
 				// bit-identity path); a halted shard drains nothing more.
+				if e.diag {
+					e.closeRunSpan(s)
+				}
 				e.haltShard(s)
 				return
 			}
 		}
 
 	blocked:
+		if progressed && e.diag {
+			e.closeRunSpan(s)
+		}
 		// Publish the best promise available while blocked: the earliest
 		// thing this shard could ever execute next, capped by its own
 		// horizon (arrivals from neighbor i land at >= C_i + L >= horizon).
@@ -537,6 +612,17 @@ func (e *ShardEngine) runShard(s *engineShard) {
 			idlePasses = 0
 		} else if idlePasses++; idlePasses <= blockedSpins {
 			runtime.Gosched()
+		} else if e.diag {
+			t0 := time.Since(e.wallStart)
+			if parkBlocked {
+				e.park(s, h)
+			} else {
+				time.Sleep(blockedNap)
+			}
+			s.spans = append(s.spans, ShardSpan{
+				Shard: s.id, Kind: "blocked",
+				Start: t0, End: time.Since(e.wallStart), SimAt: sched.Now(),
+			})
 		} else if parkBlocked {
 			e.park(s, h)
 		} else {

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShardDiagSpans: with diagnostics enabled the engine records per-shard
+// run/blocked wall-clock spans without perturbing the simulation itself —
+// logs and event counts must match a non-diag run exactly.
+func TestShardDiagSpans(t *testing.T) {
+	refLogs, refRan := runPingMesh(3, 42)
+
+	e, scheds, logs := buildPingMesh(3, 42, 3)
+	e.EnableDiag()
+	e.Run(50 * time.Millisecond)
+
+	for i := range refLogs {
+		if len(logs[i]) != len(refLogs[i]) {
+			t.Fatalf("diag run: shard %d ran %d events, want %d", i, len(logs[i]), len(refLogs[i]))
+		}
+		for j := range logs[i] {
+			if logs[i][j] != refLogs[i][j] {
+				t.Fatalf("diag run: shard %d event %d = %q, want %q", i, j, logs[i][j], refLogs[i][j])
+			}
+		}
+		if scheds[i].EventsRun() != refRan[i] {
+			t.Fatalf("diag run: shard %d EventsRun %d, want %d", i, scheds[i].EventsRun(), refRan[i])
+		}
+	}
+
+	spans := e.DiagSpans()
+	if len(spans) == 0 {
+		t.Fatalf("no spans recorded with diagnostics enabled")
+	}
+	var ranEvents uint64
+	seenShard := map[int]bool{}
+	for _, sp := range spans {
+		if sp.Shard < 0 || sp.Shard >= 3 {
+			t.Fatalf("span shard %d out of range", sp.Shard)
+		}
+		seenShard[sp.Shard] = true
+		if sp.End < sp.Start {
+			t.Fatalf("span %+v ends before it starts", sp)
+		}
+		switch sp.Kind {
+		case "run":
+			ranEvents += sp.Events
+		case "blocked":
+			if sp.Events != 0 {
+				t.Fatalf("blocked span %+v carries events", sp)
+			}
+		default:
+			t.Fatalf("span %+v has unknown kind", sp)
+		}
+	}
+	if len(seenShard) != 3 {
+		t.Fatalf("spans cover %d shards, want 3", len(seenShard))
+	}
+	// Run spans count staged boundary arrivals as well as local events, so
+	// they account for at least every locally-scheduled event.
+	var want uint64
+	for _, r := range refRan {
+		want += r
+	}
+	if ranEvents < want {
+		t.Fatalf("run spans account for %d events, want >= %d", ranEvents, want)
+	}
+}
+
+// TestShardDiagOffByDefault: without EnableDiag the engine records nothing.
+func TestShardDiagOffByDefault(t *testing.T) {
+	e, _, _ := buildPingMesh(2, 7, 3)
+	e.Run(10 * time.Millisecond)
+	if spans := e.DiagSpans(); len(spans) != 0 {
+		t.Fatalf("got %d spans without EnableDiag, want 0", len(spans))
+	}
+}

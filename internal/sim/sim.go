@@ -134,6 +134,14 @@ func (s *Scheduler) EventsRun() uint64 { return s.ran }
 // removed immediately, so the count is exact.
 func (s *Scheduler) Pending() int { return len(s.queue) }
 
+// PoolStats reports the event core's slab occupancy: slots is the slab's
+// high-water mark, free the recycled slots available for reuse, and
+// pending the events currently queued. The telemetry layer samples these
+// as the event-pool occupancy gauges.
+func (s *Scheduler) PoolStats() (slots, free, pending int) {
+	return len(s.events), len(s.free), len(s.queue)
+}
+
 // At schedules fn to run at absolute time at. Scheduling in the past panics:
 // that is always a simulation bug, never a recoverable condition.
 func (s *Scheduler) At(at Time, what string, fn func()) Timer {

@@ -35,6 +35,10 @@ type Stack struct {
 	listeners map[uint16]*Listener
 	nextPort  uint16
 
+	// retired accumulates the counters of connections removed from the
+	// stack (closed or aborted), so Totals never loses history.
+	retired Stats
+
 	sendOverride func(network.NodeID, *Segment) error // tests only
 }
 
@@ -99,7 +103,47 @@ func (st *Stack) newConn(peer network.NodeID, localPort, remotePort uint16) *Con
 }
 
 func (st *Stack) drop(c *Conn) {
+	st.retired.accumulate(c.stats)
 	delete(st.conns, connKey{c.peer, c.localPort, c.remotePort})
+}
+
+// Totals returns the stack's cumulative counters: every retired
+// connection plus every live one. The live sum iterates the connection
+// map, but all fields are integers, so the result cannot depend on map
+// iteration order — safe for deterministic telemetry sampling.
+func (st *Stack) Totals() Stats {
+	t := st.retired
+	for _, c := range st.conns {
+		t.accumulate(c.stats)
+	}
+	return t
+}
+
+// OpenConns reports the number of live connections and the sum of their
+// congestion windows in bytes (an integer sum, order-independent).
+func (st *Stack) OpenConns() (n, cwndBytes int) {
+	for _, c := range st.conns {
+		n++
+		cwndBytes += int(c.cwnd)
+	}
+	return n, cwndBytes
+}
+
+// accumulate adds o's counters into s.
+func (s *Stats) accumulate(o Stats) {
+	s.SegsSent += o.SegsSent
+	s.SegsRcvd += o.SegsRcvd
+	s.BytesSent += o.BytesSent
+	s.BytesAcked += o.BytesAcked
+	s.BytesDelivered += o.BytesDelivered
+	s.AcksSent += o.AcksSent
+	s.PureAcksSent += o.PureAcksSent
+	s.Retransmits += o.Retransmits
+	s.FastRetransmits += o.FastRetransmits
+	s.Timeouts += o.Timeouts
+	s.DupAcksRcvd += o.DupAcksRcvd
+	s.OutOfOrder += o.OutOfOrder
+	s.SendBlocked += o.SendBlocked
 }
 
 // Abort kills every connection in place, as a node crash would: timers
@@ -135,6 +179,7 @@ func (st *Stack) Abort() int {
 		// StateClosed makes every still-scheduled event on this connection
 		// a guarded no-op (onRTO, the time-wait expiry, flushDelAck).
 		c.state = StateClosed
+		st.retired.accumulate(c.stats)
 		delete(st.conns, k)
 	}
 	return len(keys)

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"aggmac/internal/frame"
+	"aggmac/internal/mac"
+	"aggmac/internal/medium"
+	"aggmac/internal/phy"
+	"aggmac/internal/sim"
+)
+
+// sprintfFormat is the fmt-based reference the zero-alloc formatter
+// replaced; AppendFormat must reproduce it byte for byte.
+func sprintfFormat(ev medium.Event) string {
+	at := time.Duration(ev.At)
+	switch ev.Kind {
+	case "tx-ctrl", "tx-agg":
+		return fmt.Sprintf("%12v  node%-2d  %-8s %-24s air=%v",
+			at, int(ev.Src), ev.Kind, ev.Info, ev.Dur)
+	case "collision":
+		return fmt.Sprintf("%12v  node%-2d  COLLISION at node%d", at, int(ev.Src), int(ev.Dst))
+	case "ctrl-noise":
+		return fmt.Sprintf("%12v  node%-2d  ctrl lost to noise at node%d", at, int(ev.Src), int(ev.Dst))
+	case "half-duplex":
+		return fmt.Sprintf("%12v  node%-2d  missed while node%d was transmitting", at, int(ev.Src), int(ev.Dst))
+	default:
+		return fmt.Sprintf("%12v  node%-2d  %-8s -> node%-2d %s",
+			at, int(ev.Src), ev.Kind, int(ev.Dst), ev.Info)
+	}
+}
+
+func randomEvents(n int) []medium.Event {
+	rng := rand.New(rand.NewSource(7))
+	kinds := []string{"tx-ctrl", "tx-agg", "rx-ctrl", "rx-agg", "collision", "ctrl-noise", "half-duplex"}
+	infos := []string{"", "x", "RTS -> node7", "0b+3u 4112B", "a-very-long-info-string-over-24-chars"}
+	evs := make([]medium.Event, n)
+	for i := range evs {
+		evs[i] = medium.Event{
+			At:   time.Duration(rng.Int63n(int64(20 * time.Minute))),
+			Kind: kinds[rng.Intn(len(kinds))],
+			Src:  medium.NodeID(rng.Intn(120)),
+			Dst:  medium.NodeID(rng.Intn(120) - 1),
+			Dur:  time.Duration(rng.Int63n(int64(10 * time.Millisecond))),
+			Info: infos[rng.Intn(len(infos))],
+		}
+	}
+	return evs
+}
+
+func TestAppendFormatMatchesSprintf(t *testing.T) {
+	for _, ev := range randomEvents(500) {
+		if got, want := Format(ev), sprintfFormat(ev); got != want {
+			t.Fatalf("Format mismatch for %+v:\n got %q\nwant %q", ev, got, want)
+		}
+	}
+}
+
+func TestAppendDurationMatchesString(t *testing.T) {
+	cases := []time.Duration{
+		0, 1, 999, time.Microsecond, 1500, time.Millisecond,
+		999999999, time.Second, 61 * time.Second, 90 * time.Minute,
+		3*time.Hour + 4*time.Minute + 5*time.Second + 600*time.Millisecond,
+		-42 * time.Millisecond, -time.Hour,
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		cases = append(cases, time.Duration(rng.Int63n(int64(100*time.Hour))))
+		cases = append(cases, time.Duration(rng.Int63n(int64(time.Second))))
+	}
+	for _, d := range cases {
+		if got := string(appendDuration(nil, d)); got != d.String() {
+			t.Fatalf("appendDuration(%d) = %q, want %q", int64(d), got, d.String())
+		}
+	}
+}
+
+func TestAppendFormatDoesNotAllocate(t *testing.T) {
+	evs := randomEvents(64)
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, ev := range evs {
+			buf = AppendFormat(buf[:0], ev)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendFormat allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkTraceFormat(b *testing.B) {
+	ev := medium.Event{
+		At:   1234567 * time.Microsecond,
+		Kind: "tx-agg",
+		Src:  7,
+		Dst:  -1,
+		Dur:  3 * time.Millisecond,
+		Info: "0b+3u 4112B",
+	}
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendFormat(buf[:0], ev)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendFormat(buf[:0], ev)
+	}); allocs != 0 {
+		b.Fatalf("AppendFormat allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestJSONTracerCapturesExchange(t *testing.T) {
+	s := sim.NewScheduler(1)
+	med := medium.New(s, phy.DefaultParams(), 2)
+	var buf bytes.Buffer
+	tr := NewJSON(&buf)
+	med.SetObserver(tr.Observe)
+
+	opts := mac.DefaultOptions(mac.UA, phy.Rate1300k)
+	m0 := mac.New(s, med, 0, opts, func(frame.DecodedSubframe, bool) {})
+	mac.New(s, med, 1, opts, func(frame.DecodedSubframe, bool) {})
+	s.After(0, "enq", func() {
+		m0.Enqueue(mac.Outgoing{Dst: frame.NodeAddr(1), Src: frame.NodeAddr(0),
+			Payload: make([]byte, 1000)}, false)
+	})
+	s.Run()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != tr.Events() {
+		t.Fatalf("%d lines written for %d events", len(lines), tr.Events())
+	}
+	kinds := map[string]bool{}
+	for _, line := range lines {
+		var ev jsonEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", line, err)
+		}
+		if ev.TNS < 0 || ev.Kind == "" {
+			t.Fatalf("malformed event %+v", ev)
+		}
+		kinds[ev.Kind] = true
+	}
+	for _, want := range []string{"tx-ctrl", "tx-agg", "rx-ctrl", "rx-agg"} {
+		if !kinds[want] {
+			t.Errorf("JSONL trace missing kind %q", want)
+		}
+	}
+}
+
+func TestJSONTracerFilter(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSON(&buf)
+	tr.Filter = OnlyTransmissions
+	tr.Observe(medium.Event{Kind: "rx-agg", Src: 0, Dst: 1})
+	tr.Observe(medium.Event{Kind: "tx-agg", Src: 0, Dst: -1})
+	if tr.Events() != 1 {
+		t.Fatalf("filter kept %d events, want 1", tr.Events())
+	}
+	if strings.Contains(buf.String(), "rx-agg") {
+		t.Error("filter let reception events through")
+	}
+}
+
+func TestJSONTracerDeterministicBytes(t *testing.T) {
+	run := func() []byte {
+		s := sim.NewScheduler(1)
+		med := medium.New(s, phy.DefaultParams(), 2)
+		var buf bytes.Buffer
+		tr := NewJSON(&buf)
+		med.SetObserver(tr.Observe)
+		opts := mac.DefaultOptions(mac.UA, phy.Rate1300k)
+		m0 := mac.New(s, med, 0, opts, func(frame.DecodedSubframe, bool) {})
+		mac.New(s, med, 1, opts, func(frame.DecodedSubframe, bool) {})
+		s.After(0, "enq", func() {
+			m0.Enqueue(mac.Outgoing{Dst: frame.NodeAddr(1), Src: frame.NodeAddr(0),
+				Payload: make([]byte, 700)}, false)
+		})
+		s.Run()
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Error("JSONL trace bytes differ across identical runs")
+	}
+}

@@ -1,0 +1,66 @@
+// JSON Lines rendering of channel events — the machine-readable sibling
+// of the text tracer. It shares the medium.Observer contract and Filter
+// semantics, so the CLIs switch between the two with -trace-format; the
+// stream is deterministic for a given run (events carry simulated time
+// only) and safe to diff across repeats.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"aggmac/internal/medium"
+)
+
+// jsonEvent is the stable wire shape of one traced event. All times are
+// simulated nanoseconds.
+type jsonEvent struct {
+	TNS   int64  `json:"t_ns"`
+	Kind  string `json:"kind"`
+	Src   int    `json:"src"`
+	Dst   int    `json:"dst"`
+	DurNS int64  `json:"dur_ns,omitempty"`
+	Info  string `json:"info,omitempty"`
+}
+
+// JSONTracer writes one JSON object per observed event.
+type JSONTracer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+
+	// Filter drops events for which it returns false (nil = keep all).
+	Filter func(medium.Event) bool
+
+	events int
+}
+
+// NewJSON creates a JSONL tracer writing to w.
+func NewJSON(w io.Writer) *JSONTracer {
+	return &JSONTracer{enc: json.NewEncoder(w)}
+}
+
+// Events returns the number of events written.
+func (t *JSONTracer) Events() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Observe is the medium.Observer entry point.
+func (t *JSONTracer) Observe(ev medium.Event) {
+	if t.Filter != nil && !t.Filter(ev) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events++
+	t.enc.Encode(jsonEvent{
+		TNS:   int64(ev.At),
+		Kind:  ev.Kind,
+		Src:   int(ev.Src),
+		Dst:   int(ev.Dst),
+		DurNS: int64(ev.Dur),
+		Info:  ev.Info,
+	})
+}

@@ -1,15 +1,16 @@
-// Package trace renders channel events into a human-readable timeline —
-// the simulator's equivalent of a monitor-mode packet capture. Attach a
-// Tracer to a medium to see every RTS/CTS/aggregate/ACK on the air, with
-// collisions and noise losses called out.
+// Package trace renders channel events into a timeline — the simulator's
+// equivalent of a monitor-mode packet capture. Attach a Tracer to a
+// medium to see every RTS/CTS/aggregate/ACK on the air, with collisions
+// and noise losses called out; NewJSON builds the machine-readable
+// sibling emitting one JSON object per event.
 //
 //	tr := trace.New(os.Stdout)
 //	med.SetObserver(tr.Observe)
 package trace
 
 import (
-	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 
@@ -18,8 +19,9 @@ import (
 
 // Tracer formats events to a writer.
 type Tracer struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte // reused line buffer: steady-state tracing allocates nothing
 
 	// Filter drops events for which it returns false (nil = keep all).
 	Filter func(medium.Event) bool
@@ -45,26 +47,184 @@ func (t *Tracer) Observe(ev medium.Event) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.events++
-	fmt.Fprintln(t.w, Format(ev))
+	t.buf = AppendFormat(t.buf[:0], ev)
+	t.buf = append(t.buf, '\n')
+	t.w.Write(t.buf)
 }
 
 // Format renders one event as a fixed-layout line.
 func Format(ev medium.Event) string {
-	at := time.Duration(ev.At)
+	return string(AppendFormat(nil, ev))
+}
+
+// AppendFormat appends the fixed-layout line for ev to dst and returns
+// the extended slice. This is the allocation-free core of Format:
+// everything, including duration rendering, is composed into dst (or a
+// stack scratch buffer), so a caller reusing its buffer pays zero
+// allocations per event once capacity has grown.
+func AppendFormat(dst []byte, ev medium.Event) []byte {
+	dst = appendDurationRight(dst, ev.At, 12)
+	dst = append(dst, "  node"...)
+	dst = appendIntLeft(dst, int(ev.Src), 2)
+	dst = append(dst, "  "...)
 	switch ev.Kind {
 	case "tx-ctrl", "tx-agg":
-		return fmt.Sprintf("%12v  node%-2d  %-8s %-24s air=%v",
-			at, int(ev.Src), ev.Kind, ev.Info, ev.Dur)
+		dst = appendStrLeft(dst, ev.Kind, 8)
+		dst = append(dst, ' ')
+		dst = appendStrLeft(dst, ev.Info, 24)
+		dst = append(dst, " air="...)
+		dst = appendDuration(dst, ev.Dur)
 	case "collision":
-		return fmt.Sprintf("%12v  node%-2d  COLLISION at node%d", at, int(ev.Src), int(ev.Dst))
+		dst = append(dst, "COLLISION at node"...)
+		dst = strconv.AppendInt(dst, int64(ev.Dst), 10)
 	case "ctrl-noise":
-		return fmt.Sprintf("%12v  node%-2d  ctrl lost to noise at node%d", at, int(ev.Src), int(ev.Dst))
+		dst = append(dst, "ctrl lost to noise at node"...)
+		dst = strconv.AppendInt(dst, int64(ev.Dst), 10)
 	case "half-duplex":
-		return fmt.Sprintf("%12v  node%-2d  missed while node%d was transmitting", at, int(ev.Src), int(ev.Dst))
+		dst = append(dst, "missed while node"...)
+		dst = strconv.AppendInt(dst, int64(ev.Dst), 10)
+		dst = append(dst, " was transmitting"...)
 	default:
-		return fmt.Sprintf("%12v  node%-2d  %-8s -> node%-2d %s",
-			at, int(ev.Src), ev.Kind, int(ev.Dst), ev.Info)
+		dst = appendStrLeft(dst, ev.Kind, 8)
+		dst = append(dst, " -> node"...)
+		dst = appendIntLeft(dst, int(ev.Dst), 2)
+		dst = append(dst, ' ')
+		dst = append(dst, ev.Info...)
 	}
+	return dst
+}
+
+const pad = "                        " // 24 spaces: the widest field
+
+// appendStrLeft appends s left-aligned in a field of width w.
+func appendStrLeft(dst []byte, s string, w int) []byte {
+	dst = append(dst, s...)
+	if n := w - len(s); n > 0 {
+		dst = append(dst, pad[:n]...)
+	}
+	return dst
+}
+
+// appendIntLeft appends v left-aligned in a field of width w.
+func appendIntLeft(dst []byte, v, w int) []byte {
+	start := len(dst)
+	dst = strconv.AppendInt(dst, int64(v), 10)
+	if n := w - (len(dst) - start); n > 0 {
+		dst = append(dst, pad[:n]...)
+	}
+	return dst
+}
+
+// appendDurationRight appends d right-aligned in a field of width w by
+// shifting the rendered text in place — no intermediate string.
+func appendDurationRight(dst []byte, d time.Duration, w int) []byte {
+	start := len(dst)
+	dst = appendDuration(dst, d)
+	if n := w - (len(dst) - start); n > 0 {
+		dst = append(dst, pad[:n]...)
+		copy(dst[start+n:], dst[start:len(dst)-n])
+		copy(dst[start:start+n], pad)
+	}
+	return dst
+}
+
+// appendDuration appends d rendered exactly as time.Duration.String,
+// composed digit-by-digit into a stack buffer so no allocation occurs.
+// Byte-for-byte agreement with the standard library is pinned by
+// TestAppendDurationMatchesString.
+func appendDuration(dst []byte, d time.Duration) []byte {
+	var buf [32]byte
+	w := len(buf)
+	u := uint64(d)
+	neg := d < 0
+	if neg {
+		u = -u
+	}
+	if u < uint64(time.Second) {
+		// Sub-second: pick ns/µs/ms with a fractional part.
+		if u == 0 {
+			return append(dst, "0s"...)
+		}
+		var prec int
+		w--
+		buf[w] = 's'
+		w--
+		switch {
+		case u < uint64(time.Microsecond):
+			prec = 0
+			buf[w] = 'n'
+		case u < uint64(time.Millisecond):
+			prec = 3
+			w-- // 'µ' is two bytes
+			copy(buf[w:], "µ")
+		default:
+			prec = 6
+			buf[w] = 'm'
+		}
+		w, u = appendFrac(buf[:w], u, prec)
+		w = appendInt(buf[:w], u)
+	} else {
+		w--
+		buf[w] = 's'
+		w, u = appendFrac(buf[:w], u, 9)
+		w = appendInt(buf[:w], u%60)
+		u /= 60
+		if u > 0 {
+			w--
+			buf[w] = 'm'
+			w = appendInt(buf[:w], u%60)
+			u /= 60
+			if u > 0 {
+				w--
+				buf[w] = 'h'
+				w = appendInt(buf[:w], u)
+			}
+		}
+	}
+	if neg {
+		w--
+		buf[w] = '-'
+	}
+	return append(dst, buf[w:]...)
+}
+
+// appendFrac writes the prec-digit fraction of v backwards into buf,
+// omitting trailing zeros (and the decimal point when the fraction is
+// all zeros), and returns the new write position and v stripped of the
+// fraction digits.
+func appendFrac(buf []byte, v uint64, prec int) (int, uint64) {
+	w := len(buf)
+	print := false
+	for i := 0; i < prec; i++ {
+		digit := v % 10
+		print = print || digit != 0
+		if print {
+			w--
+			buf[w] = byte(digit) + '0'
+		}
+		v /= 10
+	}
+	if print {
+		w--
+		buf[w] = '.'
+	}
+	return w, v
+}
+
+// appendInt writes v backwards into buf and returns the new position.
+func appendInt(buf []byte, v uint64) int {
+	w := len(buf)
+	if v == 0 {
+		w--
+		buf[w] = '0'
+		return w
+	}
+	for v > 0 {
+		w--
+		buf[w] = byte(v%10) + '0'
+		v /= 10
+	}
+	return w
 }
 
 // OnlyTransmissions is a Filter keeping the channel-occupancy view.
